@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the main substrates.
+
+These are not paper figures; they track the performance of the building
+blocks (stabilizer simulation, greedy reduction, partitioning, verification)
+so that regressions in the substrates are visible independently of the
+end-to-end sweeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baseline.naive import BaselineCompiler
+from repro.circuit.validation import verify_circuit_generates
+from repro.core.partition import GraphPartitioner
+from repro.core.strategies import greedy_reduce
+from repro.evaluation.experiments import fast_config
+from repro.graphs.generators import lattice_graph, waxman_graph
+from repro.stabilizer.tableau import StabilizerState
+
+
+def test_stabilizer_graph_state_construction(benchmark):
+    """Tableau construction of a 40-qubit lattice graph state."""
+    graph = lattice_graph(5, 8)
+    edges = [(u, v) for u, v in graph.relabeled()[0].edges()]
+
+    def build():
+        return StabilizerState.from_graph_edges(40, edges)
+
+    state = benchmark(build)
+    assert state.num_qubits == 40
+
+
+def test_greedy_reduction_lattice(benchmark):
+    """Greedy reduction of a 30-qubit lattice."""
+    graph = lattice_graph(5, 6)
+    sequence = benchmark(lambda: greedy_reduce(graph))
+    assert sequence.num_photons == 30
+
+
+def test_partitioner_waxman(benchmark):
+    """Partition + LC search on a 30-qubit Waxman graph."""
+    graph = waxman_graph(30, seed=3)
+    partitioner = GraphPartitioner(fast_config())
+    result = benchmark(lambda: partitioner.partition(graph))
+    assert sum(len(b) for b in result.blocks) == 30
+
+
+def test_end_to_end_verification(benchmark):
+    """Baseline compile + stabilizer verification of a 20-qubit lattice."""
+    graph = lattice_graph(4, 5)
+    result = BaselineCompiler().compile(graph)
+
+    verified = benchmark(lambda: verify_circuit_generates(result.circuit, graph))
+    assert verified

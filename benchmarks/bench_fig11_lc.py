@@ -1,0 +1,30 @@
+"""Figure 11 (b): stem-edge reduction from local complementation.
+
+The paper shows that allowing up to ``l = 15`` LC operations during
+partitioning reduces the number of inter-subgraph (stem) edges on Waxman
+graphs compared to ``l = 0``.  The benchmark reruns the comparison and checks
+that LC never increases the stem-edge count and reduces it in aggregate.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.figures import figure11_lc_edges
+
+SIZES = (10, 15, 20, 25, 30)
+
+
+def _run():
+    return figure11_lc_edges(sizes=SIZES)
+
+
+def test_fig11b_lc_stem_edges(benchmark):
+    data = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(data.to_text())
+    benchmark.extra_info["total_stem_edge_reduction"] = data.summary[
+        "total_stem_edge_reduction"
+    ]
+    # LC must never make the cut worse, and should help in aggregate.
+    for row in data.rows:
+        assert row[2] <= row[1]
+    assert data.summary["total_stem_edge_reduction"] >= 0.0

@@ -1,0 +1,32 @@
+"""Figure 11 (a): photon-loss suppression.
+
+With the quantum-dot loss rate (0.5 % per tau_QD) and ``N_e^limit = 1.5
+N_e^min``, the paper reports loss-probability improvements of x1.3 / x1.4 /
+x1.9 on lattice / tree / random graphs.  The benchmark reruns the comparison
+and checks that the framework's loss is lower on every family (improvement
+factor > 1).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.figures import figure11_loss
+
+SWEEP_SIZES = {
+    "lattice": (12, 20, 30),
+    "tree": (10, 20, 30),
+    "random": (10, 15, 20),
+}
+
+
+def _run():
+    return figure11_loss(families=("lattice", "tree", "random"), sizes=SWEEP_SIZES)
+
+
+def test_fig11a_photon_loss(benchmark):
+    data = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(data.to_text())
+    for family in ("lattice", "tree", "random"):
+        factor = data.summary[f"average_improvement_{family}"]
+        benchmark.extra_info[f"improvement_{family}"] = factor
+        assert factor > 1.0, f"photon loss must improve on {family} graphs"

@@ -1,0 +1,27 @@
+"""Compile-runtime scaling on linear cluster states (paper §III, Challenge 1).
+
+The paper motivates the framework by GraphiQ's runtime exceeding 10^3 seconds
+for linear clusters beyond 10 qubits.  This benchmark measures the wall-clock
+time of the divide-and-conquer compiler on linear clusters up to 60 qubits
+and asserts it stays within an interactive budget (well under a minute per
+graph on a laptop).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.figures import runtime_scaling
+
+SIZES = (10, 20, 40, 60)
+
+
+def _run():
+    return runtime_scaling(sizes=SIZES)
+
+
+def test_runtime_scaling_linear_cluster(benchmark):
+    data = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(data.to_text())
+    benchmark.extra_info["max_ours_seconds"] = data.summary["max_ours_seconds"]
+    assert data.summary["max_ours_seconds"] < 60.0
+    assert len(data.rows) == len(SIZES)

@@ -1,0 +1,15 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate the data behind every figure of the paper's
+evaluation.  Sweep sizes are smaller than the paper's full ranges so that the
+whole harness completes in a few minutes on a laptop; pass larger sizes
+through the CLI (``repro-emitter figure fig10a --sizes 10 20 30 40 50 60``)
+to reproduce the full-scale sweeps.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

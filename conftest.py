@@ -1,0 +1,13 @@
+"""Ensure the src/ layout is importable even without an editable install.
+
+The test-suite and benchmarks are normally run after ``pip install -e .``;
+in fully offline environments where the editable install cannot build a
+wheel, adding ``src/`` to ``sys.path`` here keeps ``pytest`` self-contained.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,4 @@
+"""Setuptools shim for environments without PEP 517/660 build tooling (no `wheel`)."""
+from setuptools import setup
+
+setup()

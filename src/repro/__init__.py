@@ -1,0 +1,108 @@
+"""repro — a compilation framework for emitter-photonic graph states.
+
+This package reproduces the DAC 2025 paper *"A Scalable and Robust
+Compilation Framework for Emitter-Photonic Graph State"*: it compiles a target
+photonic graph state into a deterministic generation circuit for emitter-based
+hardware (quantum dots, colour centres, Rydberg atoms), minimising
+emitter-emitter CNOTs, circuit duration and accumulated photon loss.
+
+Quickstart::
+
+    from repro import EmitterCompiler, BaselineCompiler, lattice_graph
+
+    graph = lattice_graph(4, 5)
+    ours = EmitterCompiler().compile(graph)
+    base = BaselineCompiler().compile(graph)
+    print(ours.num_emitter_emitter_cnots, "vs", base.metrics.num_emitter_emitter_cnots)
+
+Public API highlights:
+
+* :class:`repro.core.compiler.EmitterCompiler` / :class:`repro.core.config.CompilerConfig`
+  — the paper's framework.
+* :class:`repro.baseline.naive.BaselineCompiler` — the GraphiQ-like baseline.
+* :mod:`repro.graphs` — graph-state containers, generators, local
+  complementation and entanglement measures.
+* :mod:`repro.circuit` — the emitter-photon circuit IR, scheduling, metrics
+  and stabilizer-backed verification.
+* :mod:`repro.hardware` — hardware presets and the photon-loss model.
+* :mod:`repro.evaluation` — the harness that regenerates every figure of the
+  paper's evaluation.
+"""
+
+from repro.baseline.naive import BaselineCompiler, BaselineResult
+from repro.circuit.circuit import Circuit
+from repro.circuit.metrics import CircuitMetrics, compute_metrics
+from repro.circuit.timing import GateDurations, Schedule, schedule_circuit
+from repro.circuit.validation import (
+    simulate_circuit,
+    validate_circuit_constraints,
+    verify_circuit_generates,
+)
+from repro.core.compiler import CompilationResult, EmitterCompiler
+from repro.core.config import CompilerConfig
+from repro.graphs.entanglement import cut_rank, height_function, minimum_emitters
+from repro.graphs.generators import (
+    benchmark_graph,
+    complete_graph,
+    lattice_graph,
+    linear_cluster,
+    random_tree,
+    repeater_graph_state,
+    ring_graph,
+    star_graph,
+    tree_graph,
+    waxman_graph,
+)
+from repro.graphs.graph_state import GraphState
+from repro.hardware.loss import PhotonLossModel
+from repro.hardware.models import (
+    HardwareModel,
+    get_hardware_model,
+    nv_center,
+    quantum_dot,
+    rydberg_atom,
+    siv_center,
+)
+from repro.stabilizer.tableau import StabilizerState
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "BaselineCompiler",
+    "BaselineResult",
+    "Circuit",
+    "CircuitMetrics",
+    "compute_metrics",
+    "GateDurations",
+    "Schedule",
+    "schedule_circuit",
+    "simulate_circuit",
+    "validate_circuit_constraints",
+    "verify_circuit_generates",
+    "CompilationResult",
+    "EmitterCompiler",
+    "CompilerConfig",
+    "cut_rank",
+    "height_function",
+    "minimum_emitters",
+    "benchmark_graph",
+    "complete_graph",
+    "lattice_graph",
+    "linear_cluster",
+    "random_tree",
+    "repeater_graph_state",
+    "ring_graph",
+    "star_graph",
+    "tree_graph",
+    "waxman_graph",
+    "GraphState",
+    "PhotonLossModel",
+    "HardwareModel",
+    "get_hardware_model",
+    "nv_center",
+    "quantum_dot",
+    "rydberg_atom",
+    "siv_center",
+    "StabilizerState",
+]

@@ -1,0 +1,13 @@
+"""Baseline compilers the framework is evaluated against.
+
+:mod:`repro.baseline.naive` re-implements the behaviour of the state-of-the-art
+deterministic solver (GraphiQ's ``AlternateTargetSolver``, which follows the
+minimal-emitter protocol of Li, Economou & Barnes 2022): photons are emitted
+in their natural label order, the emitter pool is kept minimal, and the
+resulting monolithic circuit is scheduled as-soon-as-possible without any
+loss-aware reordering.
+"""
+
+from repro.baseline.naive import BaselineCompiler, BaselineResult
+
+__all__ = ["BaselineCompiler", "BaselineResult"]

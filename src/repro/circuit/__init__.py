@@ -1,0 +1,66 @@
+"""Quantum-circuit intermediate representation for emitter-photon circuits.
+
+The IR is deliberately small: the deterministic emission scheme only ever
+needs
+
+* single-qubit Cliffords (on emitters or on already-emitted photons),
+* two-qubit Cliffords *between emitters* (CZ / CNOT),
+* the emission operation (an emitter→photon CNOT that creates the photon),
+* Z-basis measurements of emitters with Pauli feed-forward, and resets.
+
+Modules:
+
+* :mod:`repro.circuit.gates` — qubit and gate datatypes plus the gate tables.
+* :mod:`repro.circuit.circuit` — the :class:`Circuit` container with
+  deterministic-scheme constraint checking.
+* :mod:`repro.circuit.timing` — hardware-duration-aware ASAP/ALAP scheduling,
+  emitter-usage curves.
+* :mod:`repro.circuit.metrics` — circuit cost metrics used in the evaluation.
+* :mod:`repro.circuit.validation` — stabilizer-simulation back-end used to
+  verify that a circuit generates its target graph state exactly.
+"""
+
+from repro.circuit.gates import (
+    EMISSION_GATE,
+    MEASUREMENT_GATES,
+    SINGLE_QUBIT_GATES,
+    TWO_QUBIT_GATES,
+    Gate,
+    GateName,
+    Qubit,
+    QubitKind,
+    emitter,
+    photon,
+)
+from repro.circuit.circuit import Circuit
+from repro.circuit.timing import GateDurations, Schedule, schedule_circuit
+from repro.circuit.metrics import CircuitMetrics, compute_metrics
+from repro.circuit.validation import (
+    CircuitValidationError,
+    simulate_circuit,
+    validate_circuit_constraints,
+    verify_circuit_generates,
+)
+
+__all__ = [
+    "EMISSION_GATE",
+    "MEASUREMENT_GATES",
+    "SINGLE_QUBIT_GATES",
+    "TWO_QUBIT_GATES",
+    "Gate",
+    "GateName",
+    "Qubit",
+    "QubitKind",
+    "emitter",
+    "photon",
+    "Circuit",
+    "GateDurations",
+    "Schedule",
+    "schedule_circuit",
+    "CircuitMetrics",
+    "compute_metrics",
+    "CircuitValidationError",
+    "simulate_circuit",
+    "validate_circuit_constraints",
+    "verify_circuit_generates",
+]

@@ -1,0 +1,258 @@
+"""The :class:`Circuit` container.
+
+A circuit is an ordered list of :class:`repro.circuit.gates.Gate` objects over
+a fixed set of emitter qubits and photon qubits.  The container enforces the
+structural constraints of the deterministic emission scheme *as gates are
+appended*, so a circuit object that exists is always well formed:
+
+1. two-qubit gates act on two emitters only (photon-photon and
+   emitter-photon entangling gates other than the emission are rejected);
+2. the first gate touching a photon must be its emission, and a photon can be
+   emitted only once;
+3. measurements and resets act on emitters only (photons fly away — the
+   generation circuit never measures them).
+
+The container is purely structural; timing, metrics and semantic verification
+live in :mod:`repro.circuit.timing`, :mod:`repro.circuit.metrics` and
+:mod:`repro.circuit.validation`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.circuit.gates import (
+    Gate,
+    GateName,
+    MEASUREMENT_GATES,
+    Qubit,
+    SINGLE_QUBIT_GATES,
+    TWO_QUBIT_GATES,
+    emitter,
+    photon,
+)
+
+__all__ = ["Circuit"]
+
+
+class Circuit:
+    """An emitter-photon generation circuit."""
+
+    def __init__(self, num_emitters: int, num_photons: int):
+        if num_emitters < 0:
+            raise ValueError(f"num_emitters must be >= 0, got {num_emitters}")
+        if num_photons < 0:
+            raise ValueError(f"num_photons must be >= 0, got {num_photons}")
+        self.num_emitters = int(num_emitters)
+        self.num_photons = int(num_photons)
+        self._gates: list[Gate] = []
+        self._emitted_photons: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Gate appending
+    # ------------------------------------------------------------------ #
+
+    def _check_qubit(self, qubit: Qubit) -> None:
+        if qubit.is_emitter and qubit.index >= self.num_emitters:
+            raise ValueError(
+                f"emitter index {qubit.index} out of range "
+                f"(circuit has {self.num_emitters} emitters)"
+            )
+        if qubit.is_photon and qubit.index >= self.num_photons:
+            raise ValueError(
+                f"photon index {qubit.index} out of range "
+                f"(circuit has {self.num_photons} photons)"
+            )
+
+    def append(self, gate: Gate) -> None:
+        """Append ``gate`` after validating the deterministic-scheme rules."""
+        for qubit in gate.qubits:
+            self._check_qubit(qubit)
+        for _, qubit in gate.conditional_paulis:
+            self._check_qubit(qubit)
+
+        if gate.name in TWO_QUBIT_GATES:
+            if not all(q.is_emitter for q in gate.qubits):
+                raise ValueError(
+                    "two-qubit gates are only allowed between emitters "
+                    f"(got {gate!r}); photon-photon interactions break determinism"
+                )
+        elif gate.name is GateName.EMIT:
+            source, target = gate.qubits
+            if not source.is_emitter or not target.is_photon:
+                raise ValueError(
+                    f"EMIT expects (emitter, photon) operands, got {gate!r}"
+                )
+            if target.index in self._emitted_photons:
+                raise ValueError(f"photon {target!r} has already been emitted")
+        elif gate.name in MEASUREMENT_GATES:
+            if not gate.qubits[0].is_emitter:
+                raise ValueError(
+                    f"{gate.name.value} is only allowed on emitters, got {gate!r}"
+                )
+        elif gate.name in SINGLE_QUBIT_GATES:
+            operand = gate.qubits[0]
+            if operand.is_photon and operand.index not in self._emitted_photons:
+                raise ValueError(
+                    f"photon {operand!r} receives a gate before its emission"
+                )
+        # Conditional corrections may only target qubits that already exist.
+        for _, qubit in gate.conditional_paulis:
+            if qubit.is_photon and qubit.index not in self._emitted_photons:
+                raise ValueError(
+                    f"conditional correction targets unemitted photon {qubit!r}"
+                )
+
+        self._gates.append(gate)
+        if gate.name is GateName.EMIT:
+            self._emitted_photons.add(gate.qubits[1].index)
+
+    # Convenience builders --------------------------------------------------
+
+    def add_single(self, name: GateName, qubit: Qubit, tag: str = "") -> None:
+        """Append a single-qubit gate."""
+        self.append(Gate(name=name, qubits=(qubit,), tag=tag))
+
+    def add_cz(self, emitter_a: int, emitter_b: int, tag: str = "") -> None:
+        """Append an emitter-emitter CZ gate."""
+        self.append(
+            Gate(name=GateName.CZ, qubits=(emitter(emitter_a), emitter(emitter_b)), tag=tag)
+        )
+
+    def add_cnot(self, control_emitter: int, target_emitter: int, tag: str = "") -> None:
+        """Append an emitter-emitter CNOT gate."""
+        self.append(
+            Gate(
+                name=GateName.CNOT,
+                qubits=(emitter(control_emitter), emitter(target_emitter)),
+                tag=tag,
+            )
+        )
+
+    def add_emission(self, emitter_index: int, photon_index: int, tag: str = "") -> None:
+        """Append the emission of ``photon_index`` from ``emitter_index``."""
+        self.append(
+            Gate(
+                name=GateName.EMIT,
+                qubits=(emitter(emitter_index), photon(photon_index)),
+                tag=tag,
+            )
+        )
+
+    def add_measure(
+        self,
+        emitter_index: int,
+        conditional_paulis: Iterable[tuple[str, Qubit]] = (),
+        tag: str = "",
+    ) -> None:
+        """Append a Z measurement of an emitter with optional feed-forward."""
+        self.append(
+            Gate(
+                name=GateName.MEASURE_Z,
+                qubits=(emitter(emitter_index),),
+                conditional_paulis=tuple(conditional_paulis),
+                tag=tag,
+            )
+        )
+
+    def add_reset(self, emitter_index: int, tag: str = "") -> None:
+        """Append a reset of an emitter to ``|0>``."""
+        self.append(Gate(name=GateName.RESET, qubits=(emitter(emitter_index),), tag=tag))
+
+    def extend(self, gates: Iterable[Gate]) -> None:
+        """Append every gate of ``gates`` in order (validated one by one)."""
+        for gate in gates:
+            self.append(gate)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def gates(self) -> list[Gate]:
+        """The gate list (a copy; appending to it does not modify the circuit)."""
+        return list(self._gates)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self._gates)
+
+    @property
+    def emitted_photons(self) -> set[int]:
+        """Indices of photons that have an emission gate."""
+        return set(self._emitted_photons)
+
+    def gates_on(self, qubit: Qubit) -> list[Gate]:
+        """All gates whose operands include ``qubit`` (conditions excluded)."""
+        return [g for g in self._gates if g.involves(qubit)]
+
+    def emission_gate_of(self, photon_index: int) -> Gate | None:
+        """The emission gate of a photon, or ``None`` if it was never emitted."""
+        target = photon(photon_index)
+        for gate in self._gates:
+            if gate.name is GateName.EMIT and gate.qubits[1] == target:
+                return gate
+        return None
+
+    def count(self, name: GateName) -> int:
+        """Number of gates with the given name."""
+        return sum(1 for g in self._gates if g.name is name)
+
+    def num_emitter_emitter_gates(self) -> int:
+        """Number of two-qubit gates between emitters (the paper's #CNOT metric)."""
+        return sum(1 for g in self._gates if g.is_emitter_emitter_gate)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(num_emitters={self.num_emitters}, "
+            f"num_photons={self.num_photons}, num_gates={self.num_gates})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Composition
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "Circuit":
+        clone = Circuit(self.num_emitters, self.num_photons)
+        clone._gates = list(self._gates)
+        clone._emitted_photons = set(self._emitted_photons)
+        return clone
+
+    @staticmethod
+    def concatenate(circuits: Iterable["Circuit"]) -> "Circuit":
+        """Concatenate circuits that share the same qubit registries.
+
+        All inputs must have identical ``num_emitters`` / ``num_photons``;
+        gates are appended in order.  Used by the scheduler when stitching
+        subgraph circuits back together.
+        """
+        circuits = list(circuits)
+        if not circuits:
+            raise ValueError("cannot concatenate an empty collection of circuits")
+        first = circuits[0]
+        merged = Circuit(first.num_emitters, first.num_photons)
+        for circ in circuits:
+            if (
+                circ.num_emitters != first.num_emitters
+                or circ.num_photons != first.num_photons
+            ):
+                raise ValueError("circuits must share the same qubit registries")
+            for gate in circ:
+                merged.append(gate)
+        return merged
+
+    def pretty(self, max_gates: int | None = None) -> str:
+        """A compact human-readable gate listing (for examples and debugging)."""
+        lines = []
+        gates = self._gates if max_gates is None else self._gates[:max_gates]
+        for i, gate in enumerate(gates):
+            lines.append(f"{i:4d}: {gate!r}")
+        if max_gates is not None and len(self._gates) > max_gates:
+            lines.append(f"... ({len(self._gates) - max_gates} more gates)")
+        return "\n".join(lines)

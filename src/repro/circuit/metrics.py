@@ -1,0 +1,120 @@
+"""Circuit cost metrics used throughout the evaluation.
+
+The paper compares compilers on three hardware-motivated quantities:
+
+* ``#emitter-emitter CNOT`` — the number of two-qubit gates between emitters,
+  the slowest and lowest-fidelity operation of the platform (Fig. 10 a-c);
+* ``circuit duration`` — the scheduled makespan in units of ``tau_QD``
+  (Fig. 10 d-f);
+* ``photon loss`` — the probability that at least one photon of the final
+  state is lost, driven by how long each photon waits between its emission
+  and the end of the circuit (Fig. 11 a).
+
+:func:`compute_metrics` bundles all of them (plus auxiliary counters) given a
+circuit, a scheduling policy and a hardware model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import GateName
+from repro.circuit.timing import GateDurations, Schedule, schedule_circuit
+
+__all__ = ["CircuitMetrics", "compute_metrics"]
+
+
+@dataclass(frozen=True)
+class CircuitMetrics:
+    """A bundle of cost metrics for one generation circuit."""
+
+    num_emitter_emitter_cnots: int
+    num_emissions: int
+    num_single_qubit_gates: int
+    num_measurements: int
+    num_gates: int
+    duration: float
+    average_photon_loss_duration: float
+    total_photon_exposure: float
+    max_emitters_in_use: int
+    num_emitters: int
+    num_photons: int
+    photon_survival_probability: float | None = None
+    photon_loss_probability: float | None = None
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view (used by the evaluation harness and the CLI)."""
+        return {
+            "num_emitter_emitter_cnots": self.num_emitter_emitter_cnots,
+            "num_emissions": self.num_emissions,
+            "num_single_qubit_gates": self.num_single_qubit_gates,
+            "num_measurements": self.num_measurements,
+            "num_gates": self.num_gates,
+            "duration": self.duration,
+            "average_photon_loss_duration": self.average_photon_loss_duration,
+            "total_photon_exposure": self.total_photon_exposure,
+            "max_emitters_in_use": self.max_emitters_in_use,
+            "num_emitters": self.num_emitters,
+            "num_photons": self.num_photons,
+            "photon_survival_probability": self.photon_survival_probability,
+            "photon_loss_probability": self.photon_loss_probability,
+        }
+
+
+def compute_metrics(
+    circuit: Circuit,
+    durations: GateDurations | None = None,
+    policy: str = "asap",
+    loss_model=None,
+    schedule: Schedule | None = None,
+) -> CircuitMetrics:
+    """Compute the :class:`CircuitMetrics` of ``circuit``.
+
+    Args:
+        circuit: circuit to analyse.
+        durations: gate durations; defaults to the quantum-dot values.
+        policy: scheduling policy used to derive timing-based metrics.
+        loss_model: optional :class:`repro.hardware.loss.PhotonLossModel`;
+            when given, the photon survival / loss probabilities of the final
+            state are filled in.
+        schedule: pre-computed schedule (overrides ``durations``/``policy``).
+    """
+    if schedule is None:
+        schedule = schedule_circuit(circuit, durations=durations, policy=policy)
+
+    single_qubit = sum(
+        circuit.count(name)
+        for name in (
+            GateName.H,
+            GateName.S,
+            GateName.SDG,
+            GateName.X,
+            GateName.Y,
+            GateName.Z,
+            GateName.SQRT_X,
+            GateName.SQRT_X_DAG,
+        )
+    )
+    exposures = schedule.photon_exposure_times()
+    survival = None
+    loss = None
+    if loss_model is not None:
+        survival = loss_model.state_survival_probability(exposures)
+        loss = 1.0 - survival
+
+    return CircuitMetrics(
+        num_emitter_emitter_cnots=circuit.num_emitter_emitter_gates(),
+        num_emissions=circuit.count(GateName.EMIT),
+        num_single_qubit_gates=single_qubit,
+        num_measurements=circuit.count(GateName.MEASURE_Z) + circuit.count(GateName.RESET),
+        num_gates=circuit.num_gates,
+        duration=schedule.makespan,
+        average_photon_loss_duration=schedule.average_photon_loss_duration(),
+        total_photon_exposure=sum(exposures.values()),
+        max_emitters_in_use=schedule.max_emitters_in_use(),
+        num_emitters=circuit.num_emitters,
+        num_photons=circuit.num_photons,
+        photon_survival_probability=survival,
+        photon_loss_probability=loss,
+    )

@@ -1,0 +1,207 @@
+"""Semantic validation of generation circuits.
+
+The deterministic scheme promises that the circuit maps the all-``|0>``
+initial state to ``|G>`` on the photons with every emitter returned to
+``|0>``.  This module checks that promise *exactly* by replaying a circuit on
+the stabilizer tableau of :mod:`repro.stabilizer` (including measurement
+feed-forward corrections) and comparing the final state against the target
+graph state.
+
+It also provides the structural constraint re-check
+(:func:`validate_circuit_constraints`) used by tests on hand-built gate lists
+— the :class:`repro.circuit.circuit.Circuit` container already enforces those
+rules on append, so compiled circuits pass it by construction.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import (
+    Gate,
+    GateName,
+    MEASUREMENT_GATES,
+    Qubit,
+    SINGLE_QUBIT_GATES,
+    TWO_QUBIT_GATES,
+)
+from repro.graphs.graph_state import GraphState
+from repro.stabilizer.canonical import states_equal
+from repro.stabilizer.tableau import StabilizerState
+
+__all__ = [
+    "CircuitValidationError",
+    "validate_circuit_constraints",
+    "simulate_circuit",
+    "verify_circuit_generates",
+]
+
+
+class CircuitValidationError(RuntimeError):
+    """Raised when a circuit violates the deterministic-scheme constraints."""
+
+
+def validate_circuit_constraints(circuit: Circuit) -> None:
+    """Re-check the structural rules of the deterministic scheme.
+
+    Raises:
+        CircuitValidationError: on the first violated rule.
+    """
+    emitted: set[int] = set()
+    for position, gate in enumerate(circuit.gates):
+        if gate.name in TWO_QUBIT_GATES:
+            if not all(q.is_emitter for q in gate.qubits):
+                raise CircuitValidationError(
+                    f"gate {position} ({gate!r}) entangles a photon directly"
+                )
+        elif gate.name is GateName.EMIT:
+            source, target = gate.qubits
+            if not source.is_emitter or not target.is_photon:
+                raise CircuitValidationError(
+                    f"gate {position} ({gate!r}) is not an emitter->photon emission"
+                )
+            if target.index in emitted:
+                raise CircuitValidationError(
+                    f"gate {position} ({gate!r}) re-emits photon {target.index}"
+                )
+            emitted.add(target.index)
+        elif gate.name in MEASUREMENT_GATES:
+            if not gate.qubits[0].is_emitter:
+                raise CircuitValidationError(
+                    f"gate {position} ({gate!r}) measures or resets a photon"
+                )
+        elif gate.name in SINGLE_QUBIT_GATES:
+            operand = gate.qubits[0]
+            if operand.is_photon and operand.index not in emitted:
+                raise CircuitValidationError(
+                    f"gate {position} ({gate!r}) acts on an unemitted photon"
+                )
+        else:  # pragma: no cover - the GateName enum is closed
+            raise CircuitValidationError(f"unknown gate {gate!r}")
+
+
+def _tableau_index(qubit: Qubit, num_photons: int) -> int:
+    """Map a circuit qubit to a tableau wire: photons first, then emitters."""
+    if qubit.is_photon:
+        return qubit.index
+    return num_photons + qubit.index
+
+
+def _apply_single(state: StabilizerState, name: GateName, wire: int) -> None:
+    if name is GateName.H:
+        state.h(wire)
+    elif name is GateName.S:
+        state.s(wire)
+    elif name is GateName.SDG:
+        state.sdg(wire)
+    elif name is GateName.X:
+        state.x_gate(wire)
+    elif name is GateName.Y:
+        state.y_gate(wire)
+    elif name is GateName.Z:
+        state.z_gate(wire)
+    elif name is GateName.SQRT_X:
+        state.sqrt_x(wire)
+    elif name is GateName.SQRT_X_DAG:
+        state.sqrt_x_dag(wire)
+    else:  # pragma: no cover - guarded by callers
+        raise ValueError(f"{name} is not a single-qubit gate")
+
+
+def simulate_circuit(
+    circuit: Circuit, seed: int | None = 0
+) -> StabilizerState:
+    """Replay ``circuit`` on a stabilizer tableau starting from all ``|0>``.
+
+    Photon ``p`` occupies tableau wire ``p``; emitter ``e`` occupies wire
+    ``num_photons + e``.  Measurement outcomes are sampled (deterministically
+    for the default seed) and the associated conditional Pauli corrections are
+    applied, so the returned state is the state the hardware would produce.
+    """
+    num_wires = circuit.num_photons + circuit.num_emitters
+    if num_wires == 0:
+        raise ValueError("cannot simulate a circuit with no qubits")
+    state = StabilizerState(num_wires, seed=seed)
+    np_ = circuit.num_photons
+    for gate in circuit.gates:
+        if gate.name in SINGLE_QUBIT_GATES:
+            _apply_single(state, gate.name, _tableau_index(gate.qubits[0], np_))
+        elif gate.name is GateName.CZ:
+            state.cz(
+                _tableau_index(gate.qubits[0], np_),
+                _tableau_index(gate.qubits[1], np_),
+            )
+        elif gate.name is GateName.CNOT:
+            state.cnot(
+                _tableau_index(gate.qubits[0], np_),
+                _tableau_index(gate.qubits[1], np_),
+            )
+        elif gate.name is GateName.EMIT:
+            state.cnot(
+                _tableau_index(gate.qubits[0], np_),
+                _tableau_index(gate.qubits[1], np_),
+            )
+        elif gate.name is GateName.MEASURE_Z:
+            wire = _tableau_index(gate.qubits[0], np_)
+            outcome = state.measure_z(wire)
+            if outcome == 1:
+                for pauli_name, target in gate.conditional_paulis:
+                    target_wire = _tableau_index(target, np_)
+                    if pauli_name == "X":
+                        state.x_gate(target_wire)
+                    elif pauli_name == "Y":
+                        state.y_gate(target_wire)
+                    else:
+                        state.z_gate(target_wire)
+                # Return the measured emitter to |0>.
+                state.x_gate(wire)
+        elif gate.name is GateName.RESET:
+            state.reset(_tableau_index(gate.qubits[0], np_))
+        else:  # pragma: no cover - the GateName enum is closed
+            raise ValueError(f"cannot simulate gate {gate!r}")
+    return state
+
+
+def verify_circuit_generates(
+    circuit: Circuit,
+    target_graph: GraphState,
+    photon_of_vertex: dict | None = None,
+    num_trials: int = 2,
+) -> bool:
+    """Check that ``circuit`` produces ``|target_graph>`` on its photons.
+
+    Args:
+        circuit: the generation circuit.
+        target_graph: the target graph state; its vertices are mapped onto
+            photon indices via ``photon_of_vertex`` (identity by default).
+        photon_of_vertex: mapping ``graph vertex -> photon index``.
+        num_trials: how many independent simulations to run (measurement
+            outcomes are random; a correct circuit is deterministic *because*
+            of its feed-forward corrections, so all trials must succeed).
+
+    Returns:
+        True when, in every trial, the simulated final state equals
+        ``|target_graph>`` on the photon wires tensored with ``|0>`` on every
+        emitter wire, exactly.
+    """
+    validate_circuit_constraints(circuit)
+    if photon_of_vertex is None:
+        vertices = target_graph.vertices()
+        photon_of_vertex = {v: i for i, v in enumerate(vertices)}
+    if len(photon_of_vertex) != circuit.num_photons:
+        raise ValueError(
+            "photon_of_vertex must map every graph vertex to a distinct photon "
+            f"({len(photon_of_vertex)} mappings for {circuit.num_photons} photons)"
+        )
+
+    num_wires = circuit.num_photons + circuit.num_emitters
+    reference = StabilizerState(num_wires)
+    for wire in range(circuit.num_photons):
+        reference.h(wire)
+    for u, v in target_graph.edges():
+        reference.cz(photon_of_vertex[u], photon_of_vertex[v])
+
+    for trial in range(max(1, num_trials)):
+        final = simulate_circuit(circuit, seed=trial)
+        if not states_equal(final, reference):
+            return False
+    return True

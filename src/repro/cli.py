@@ -1,0 +1,134 @@
+"""Command-line interface.
+
+Two subcommands cover the common workflows:
+
+* ``repro-emitter compile`` — compile one benchmark graph and print the
+  circuit metrics (optionally the gate listing);
+* ``repro-emitter figure`` — regenerate one of the paper's figures and print
+  the data table.
+
+Examples::
+
+    repro-emitter compile --family lattice --size 20
+    repro-emitter compile --family tree --size 30 --baseline --verify
+    repro-emitter figure fig10a
+    repro-emitter figure fig11b
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baseline.naive import BaselineCompiler
+from repro.core.compiler import EmitterCompiler
+from repro.evaluation.experiments import fast_config
+from repro.evaluation import figures
+from repro.graphs.generators import benchmark_graph
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "fig5": lambda args: figures.figure5_emitter_usage(),
+    "fig10a": lambda args: figures.figure10_cnot("lattice", sizes=args.sizes),
+    "fig10b": lambda args: figures.figure10_cnot("tree", sizes=args.sizes),
+    "fig10c": lambda args: figures.figure10_cnot("random", sizes=args.sizes),
+    "fig10d": lambda args: figures.figure10_duration("lattice", sizes=args.sizes),
+    "fig10e": lambda args: figures.figure10_duration("tree", sizes=args.sizes),
+    "fig10f": lambda args: figures.figure10_duration("random", sizes=args.sizes),
+    "fig11a": lambda args: figures.figure11_loss(),
+    "fig11b": lambda args: figures.figure11_lc_edges(),
+    "runtime": lambda args: figures.runtime_scaling(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-emitter",
+        description="Emitter-photonic graph-state compilation framework (DAC 2025 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = subparsers.add_parser(
+        "compile", help="compile one benchmark graph and print its metrics"
+    )
+    compile_parser.add_argument(
+        "--family",
+        choices=["lattice", "tree", "random"],
+        default="lattice",
+        help="benchmark graph family",
+    )
+    compile_parser.add_argument("--size", type=int, default=20, help="number of qubits")
+    compile_parser.add_argument("--seed", type=int, default=11, help="graph seed")
+    compile_parser.add_argument(
+        "--emitter-factor",
+        type=float,
+        default=1.5,
+        help="emitter limit as a multiple of N_e^min",
+    )
+    compile_parser.add_argument(
+        "--baseline", action="store_true", help="also compile with the baseline"
+    )
+    compile_parser.add_argument(
+        "--verify", action="store_true", help="verify circuits on the stabilizer simulator"
+    )
+    compile_parser.add_argument(
+        "--show-circuit", action="store_true", help="print the compiled gate list"
+    )
+
+    figure_parser = subparsers.add_parser(
+        "figure", help="regenerate one of the paper's figures"
+    )
+    figure_parser.add_argument("figure", choices=sorted(_FIGURES))
+    figure_parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="*",
+        default=None,
+        help="override the sweep sizes (number of qubits per point)",
+    )
+    return parser
+
+
+def _run_compile(args: argparse.Namespace) -> int:
+    graph = benchmark_graph(args.family, args.size, seed=args.seed)
+    config = fast_config(
+        emitter_limit_factor=args.emitter_factor, verify=args.verify
+    )
+    result = EmitterCompiler(config).compile(graph)
+    print(f"graph: {args.family} with {graph.num_vertices} qubits, {graph.num_edges} edges")
+    print("framework result:")
+    for key, value in sorted(result.summary().items()):
+        print(f"  {key}: {value}")
+    if args.baseline:
+        baseline = BaselineCompiler(hardware=config.hardware, verify=args.verify).compile(graph)
+        print("baseline result:")
+        for key, value in sorted(baseline.metrics.as_dict().items()):
+            print(f"  {key}: {value}")
+    if args.show_circuit:
+        print("circuit:")
+        print(result.circuit.pretty())
+    return 0
+
+
+def _run_figure(args: argparse.Namespace) -> int:
+    data = _FIGURES[args.figure](args)
+    print(data.to_text())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "compile":
+        return _run_compile(args)
+    if args.command == "figure":
+        return _run_figure(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

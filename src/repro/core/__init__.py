@@ -1,0 +1,53 @@
+"""The paper's contribution: the divide-and-conquer emitter compiler.
+
+Pipeline (paper §IV):
+
+1. :mod:`repro.core.partition` — graph-state partitioning with depth-limited
+   local complementation, minimising inter-subgraph ("stem") edges.
+2. :mod:`repro.core.subgraph_compiler` — per-subgraph compilation via a
+   bounded search over time-reversed reduction sequences, minimising
+   emitter-emitter CNOTs and photon-loss duration under a flexible emitter
+   constraint.
+3. :mod:`repro.core.scheduler` — subgraph recombination: priority ordering
+   (P_c = n_p / T_c), Tetris-style packing of emitter-usage blocks under
+   ``N_e^limit`` and emitter reuse.
+4. :mod:`repro.core.compiler` — the :class:`EmitterCompiler` facade that
+   stitches everything into a single verified generation circuit.
+
+The underlying exact rewrite machinery lives in :mod:`repro.core.reduction`
+and is shared with the baseline compiler.
+"""
+
+from repro.core.reduction import (
+    InsufficientEmittersError,
+    ReductionOp,
+    ReductionSequence,
+    ReductionState,
+    forward_circuit_from_sequence,
+)
+from repro.core.strategies import GreedyReductionStrategy, greedy_reduce
+from repro.core.subgraph_compiler import SubgraphCompilationResult, SubgraphCompiler
+from repro.core.partition import GraphPartitioner, PartitionResult
+from repro.core.scheduler import ScheduledSubgraph, SubgraphScheduler, SchedulePlan
+from repro.core.config import CompilerConfig
+from repro.core.compiler import CompilationResult, EmitterCompiler
+
+__all__ = [
+    "InsufficientEmittersError",
+    "ReductionOp",
+    "ReductionSequence",
+    "ReductionState",
+    "forward_circuit_from_sequence",
+    "GreedyReductionStrategy",
+    "greedy_reduce",
+    "SubgraphCompilationResult",
+    "SubgraphCompiler",
+    "GraphPartitioner",
+    "PartitionResult",
+    "ScheduledSubgraph",
+    "SubgraphScheduler",
+    "SchedulePlan",
+    "CompilerConfig",
+    "CompilationResult",
+    "EmitterCompiler",
+]

@@ -1,0 +1,94 @@
+"""Compiler configuration.
+
+:class:`CompilerConfig` gathers every knob of the framework in one immutable
+object so that experiments are reproducible from a single record.  Defaults
+follow the paper's settings: subgraphs of at most ``g_max = 7`` vertices, an
+LC budget of ``l = 15`` operations, the quantum-dot hardware model and an
+emitter pool of ``1.5 x N_e^min``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.hardware.models import HardwareModel, quantum_dot
+
+__all__ = ["CompilerConfig"]
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """Configuration of :class:`repro.core.compiler.EmitterCompiler`.
+
+    Attributes:
+        max_subgraph_size: the paper's ``g_max`` (maximum vertices per
+            subgraph/leaf).
+        lc_budget: the paper's ``l`` (maximum number of local-complementation
+            operations used by the partitioning stage); 0 disables LC.
+        emitter_limit_factor: ``N_e^limit = ceil(factor * N_e^min)``; ignored
+            when ``emitter_limit`` is given explicitly.
+        emitter_limit: explicit emitter budget (overrides the factor).
+        partition_method: ``"auto"``, ``"heuristic"`` or ``"exact"`` (exact
+            uses the branch-and-bound MIP model, only sensible for small
+            graphs).
+        exact_partition_max_vertices: size cap for the exact MIP path when
+            ``partition_method="auto"``.
+        flexible_emitter_slack: how many extra emitters beyond each
+            subgraph's minimum are explored by the flexible resource
+            constraint (the paper compiles with ``n_e^min``, ``+1``, ``+2``,
+            i.e. slack 2).
+        max_order_candidates: maximum number of processing orders evaluated
+            per subgraph by the ordering search.
+        exhaustive_order_threshold: subgraphs with at most this many vertices
+            are searched exhaustively over all processing orders.
+        scheduling_policy: gate-level scheduling policy for the final circuit
+            (``"alap"`` delays emissions and is the framework default;
+            ``"asap"`` reproduces baseline behaviour).
+        use_twin_rule: enable the twin-absorption rewrite in the reduction.
+        verify: re-simulate compiled circuits on the stabilizer tableau.
+        hardware: hardware model (gate durations, loss).
+        seed: seed for the stochastic components (ordering search sampling,
+            annealing).
+    """
+
+    max_subgraph_size: int = 7
+    lc_budget: int = 15
+    emitter_limit_factor: float = 1.5
+    emitter_limit: int | None = None
+    partition_method: str = "auto"
+    exact_partition_max_vertices: int = 10
+    flexible_emitter_slack: int = 2
+    max_order_candidates: int = 120
+    exhaustive_order_threshold: int = 6
+    scheduling_policy: str = "alap"
+    use_twin_rule: bool = True
+    verify: bool = False
+    hardware: HardwareModel = field(default_factory=quantum_dot)
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.max_subgraph_size < 1:
+            raise ValueError("max_subgraph_size must be >= 1")
+        if self.lc_budget < 0:
+            raise ValueError("lc_budget must be >= 0")
+        if self.emitter_limit_factor < 1.0:
+            raise ValueError("emitter_limit_factor must be >= 1.0")
+        if self.emitter_limit is not None and self.emitter_limit < 1:
+            raise ValueError("emitter_limit must be >= 1 when given")
+        if self.partition_method not in ("auto", "heuristic", "exact"):
+            raise ValueError(
+                "partition_method must be 'auto', 'heuristic' or 'exact', "
+                f"got {self.partition_method!r}"
+            )
+        if self.flexible_emitter_slack < 0:
+            raise ValueError("flexible_emitter_slack must be >= 0")
+        if self.max_order_candidates < 1:
+            raise ValueError("max_order_candidates must be >= 1")
+        if self.exhaustive_order_threshold < 1:
+            raise ValueError("exhaustive_order_threshold must be >= 1")
+        if self.scheduling_policy not in ("asap", "alap"):
+            raise ValueError("scheduling_policy must be 'asap' or 'alap'")
+
+    def with_overrides(self, **kwargs) -> "CompilerConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,162 @@
+"""Subgraph recombination and circuit scheduling (paper §IV.C).
+
+The scheduler decides
+
+* in which order the subgraph circuits appear on the timeline — the paper's
+  as-late-as-possible policy driven by the priority ``P_c = n_p / T_c``
+  (subcircuits with many photons and short duration are placed *late* so
+  their photons spend the least time waiting);
+* which physical emitters each subgraph uses — the "Tetris" packing of each
+  subgraph's emitter-usage block under the global emitter cap ``N_e^limit``,
+  which is what enables emitter reuse across subgraphs and keeps utilisation
+  close to the cap at every time slot;
+* which flexible-constraint variant of each subgraph to use — when the cap
+  leaves emitters idle, a variant compiled with one or two extra emitters
+  (and hence a shorter, more parallel subcircuit) is selected instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Sequence
+
+from repro.core.subgraph_compiler import SubgraphCompilationResult
+
+__all__ = ["ScheduledSubgraph", "SchedulePlan", "SubgraphScheduler"]
+
+Vertex = Hashable
+
+
+@dataclass
+class ScheduledSubgraph:
+    """Placement decision for one subgraph."""
+
+    block_index: int
+    result: SubgraphCompilationResult
+    emitter_ids: list[int]
+    start_time: float
+    priority: float
+
+    @property
+    def duration(self) -> float:
+        return self.result.duration
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration
+
+    @property
+    def num_photons(self) -> int:
+        return self.result.num_photons
+
+
+@dataclass
+class SchedulePlan:
+    """The full recombination plan."""
+
+    scheduled: list[ScheduledSubgraph]
+    emitter_limit: int
+    makespan_estimate: float
+
+    def emission_vertex_order(self) -> list[Vertex]:
+        """Global forward emission order implied by the plan.
+
+        Subgraphs are emitted in increasing start time; within a subgraph the
+        order found by the subgraph compiler is kept.
+        """
+        order: list[Vertex] = []
+        for item in sorted(self.scheduled, key=lambda s: (s.start_time, s.block_index)):
+            order.extend(item.result.emission_order())
+        return order
+
+    def reversed_processing_plan(self) -> list[ScheduledSubgraph]:
+        """Subgraphs in reversed-time processing order (latest block first)."""
+        return sorted(
+            self.scheduled, key=lambda s: (s.start_time, s.block_index), reverse=True
+        )
+
+    def utilisation(self) -> float:
+        """Average fraction of the emitter cap that is busy over the makespan."""
+        if self.makespan_estimate <= 0 or self.emitter_limit <= 0:
+            return 0.0
+        busy_area = sum(len(s.emitter_ids) * s.duration for s in self.scheduled)
+        return busy_area / (self.emitter_limit * self.makespan_estimate)
+
+
+class SubgraphScheduler:
+    """Priority-driven Tetris packing of subgraph circuits onto the emitter pool."""
+
+    def __init__(self, emitter_limit: int):
+        if emitter_limit < 1:
+            raise ValueError(f"emitter_limit must be >= 1, got {emitter_limit}")
+        self.emitter_limit = emitter_limit
+
+    def schedule(
+        self,
+        variants_per_block: Sequence[Mapping[int, SubgraphCompilationResult]],
+    ) -> SchedulePlan:
+        """Place every block on the timeline.
+
+        Args:
+            variants_per_block: for each block, the flexible-constraint
+                variants keyed by emitter budget (as produced by
+                :meth:`repro.core.subgraph_compiler.SubgraphCompiler.compile_flexible`).
+
+        Returns:
+            A :class:`SchedulePlan`.  Start times are *estimates* based on the
+            per-subgraph circuit durations; the final circuit is re-scheduled
+            at gate level afterwards, so they only drive ordering and emitter
+            affinity.
+        """
+        if not variants_per_block:
+            raise ValueError("nothing to schedule")
+
+        # Baseline variant (the one with the fewest emitters) defines the
+        # priority used for ordering.
+        base_results = [
+            variants[min(variants)] for variants in variants_per_block
+        ]
+        priorities = [result.priority for result in base_results]
+
+        # Low priority (few photons, long duration) is emitted early, i.e.
+        # scheduled first on the forward timeline; high priority is emitted
+        # late.  Ties broken by block index for determinism.
+        order = sorted(
+            range(len(base_results)), key=lambda i: (priorities[i], i)
+        )
+
+        emitter_available = [0.0] * self.emitter_limit
+        scheduled: list[ScheduledSubgraph] = []
+        for block_index in order:
+            variants = variants_per_block[block_index]
+            best_choice: tuple[float, int, list[int], float] | None = None
+            for budget, result in sorted(variants.items()):
+                needed = min(max(result.num_emitters_used, 1), self.emitter_limit)
+                slots = sorted(
+                    range(self.emitter_limit), key=lambda e: (emitter_available[e], e)
+                )[:needed]
+                start = max(emitter_available[e] for e in slots)
+                finish = start + result.duration
+                if best_choice is None or finish < best_choice[0] - 1e-12:
+                    best_choice = (finish, budget, slots, start)
+            assert best_choice is not None
+            finish, budget, slots, start = best_choice
+            result = variants[budget]
+            for e in slots:
+                emitter_available[e] = finish
+            scheduled.append(
+                ScheduledSubgraph(
+                    block_index=block_index,
+                    result=result,
+                    emitter_ids=list(slots),
+                    start_time=start,
+                    priority=priorities[block_index],
+                )
+            )
+
+        makespan = max((s.end_time for s in scheduled), default=0.0)
+        return SchedulePlan(
+            scheduled=scheduled,
+            emitter_limit=self.emitter_limit,
+            makespan_estimate=makespan,
+        )

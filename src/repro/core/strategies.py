@@ -1,0 +1,308 @@
+"""Greedy reduction strategy shared by the baseline and the framework.
+
+Given a *processing order* (the order in which photons are handled in
+reversed time — i.e. the reverse of the forward emission order), the greedy
+strategy removes one photon at a time by trying the reversed operations in a
+fixed priority:
+
+1. ``EMIT_ISOLATED`` for isolated photons (free);
+2. ``ABSORB_DANGLING`` — a dangling emitter attached to the photon takes over
+   its neighbourhood (free);
+3. ``ABSORB_LEAF`` — the photon dangles on an emitter (free);
+4. ``ABSORB_TWIN`` — an emitter with an identical neighbourhood absorbs the
+   photon (free);
+5. otherwise the photon must be handed to an emitter, and the strategy picks
+   the cheaper of two moves by an immediate + deferred CNOT cost estimate:
+
+   * **disconnect-absorb** — an emitter adjacent to the photon is first cut
+     loose from its other (emitter) neighbours and then absorbs the photon;
+   * **swap** — the photon is replaced by a free emitter (an emission and a
+     measurement); when the pool is exhausted an emitter is liberated by
+     disconnecting it from the other emitters first.
+
+   Both moves leave the photon's former emitter-neighbours entangled with the
+   chosen emitter; those edges eventually cost one emitter-emitter CNOT each,
+   which is what the deferred term of the cost estimate accounts for.
+
+The quality of the resulting circuit therefore depends on the processing
+order, the emitter budget and the allocation policy — exactly the knobs the
+paper's framework turns (per-subgraph ordering search, LC pre-processing,
+flexible emitter constraint and scheduling).  The baseline uses the natural
+vertex order with a minimal emitter pool.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.core.reduction import (
+    InsufficientEmittersError,
+    ReductionSequence,
+    ReductionState,
+)
+from repro.graphs.graph_state import GraphState
+
+__all__ = ["GreedyReductionStrategy", "greedy_reduce", "reduce_photon"]
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class GreedyReductionStrategy:
+    """Configuration of the greedy reduction.
+
+    Attributes:
+        emitter_budget: soft maximum number of emitters (``None`` = unbounded).
+        strict_budget: raise :class:`InsufficientEmittersError` instead of
+            exceeding the budget.
+        enable_twin_rule: allow the ``ABSORB_TWIN`` rewrite.
+        free_isolated_eagerly: release isolated emitters as soon as they
+            appear (keeps the usable pool large at no gate cost).
+        prefer_disconnect_over_allocate: when a swap needs an emitter and none
+            is free, prefer liberating an existing emitter over allocating a
+            new one even if the budget has headroom.  This reproduces the
+            minimal-emitter behaviour of the baseline protocols at the price
+            of extra emitter-emitter CNOTs.
+        allow_disconnect_absorb: enable the costed disconnect-absorb move.
+            The prior-art protocols (Li et al. / GraphiQ's deterministic
+            solver) fall back to a time-reversed measurement (our ``SWAP``)
+            whenever no free absorption exists, so the baseline disables this
+            move; the hardware-aware framework keeps it.
+        preferred_emitters: optional pool of emitter ids to prefer when
+            acquiring a free emitter (used by the scheduler to implement
+            emitter affinity between a subgraph and its assigned emitters).
+    """
+
+    emitter_budget: int | None = None
+    strict_budget: bool = False
+    enable_twin_rule: bool = True
+    free_isolated_eagerly: bool = True
+    prefer_disconnect_over_allocate: bool = False
+    allow_disconnect_absorb: bool = True
+    preferred_emitters: tuple[int, ...] = ()
+
+
+# --------------------------------------------------------------------------- #
+# Rule helpers
+# --------------------------------------------------------------------------- #
+
+
+def _find_dangling_emitter(state: ReductionState, photon: int) -> int | None:
+    """An emitter adjacent to ``photon`` whose only neighbour is the photon."""
+    _, emitters = state.photon_neighbors(photon)
+    candidates = [e for e in emitters if state.emitter_degree(e) == 1]
+    return min(candidates) if candidates else None
+
+
+def _find_leaf_host(state: ReductionState, photon: int) -> int | None:
+    """An emitter hosting ``photon`` when the photon has degree 1."""
+    if state.photon_degree(photon) != 1:
+        return None
+    _, emitters = state.photon_neighbors(photon)
+    return min(emitters) if emitters else None
+
+
+def _find_twin_emitter(state: ReductionState, photon: int) -> int | None:
+    """An active emitter with exactly the photon's neighbourhood (non-adjacent)."""
+    pnode = ("p", photon)
+    photon_neighbourhood = state.graph.neighbors(pnode)
+    for emitter in sorted(state.active_emitters):
+        enode = ("e", emitter)
+        if state.graph.has_edge(pnode, enode):
+            continue
+        if state.graph.neighbors(enode) == photon_neighbourhood:
+            return emitter
+    return None
+
+
+def _disconnect_absorb_candidate(
+    state: ReductionState, photon: int
+) -> tuple[int, int] | None:
+    """Best (cost, emitter) for the disconnect-absorb move, or ``None``.
+
+    The move requires an emitter adjacent to ``photon`` whose *other*
+    neighbours are all emitters (emitter-photon edges cannot be cut); the
+    immediate cost is the number of those neighbours.
+    """
+    _, emitters = state.photon_neighbors(photon)
+    best: tuple[int, int] | None = None
+    for e in sorted(emitters):
+        other_photons, other_emitters = state.emitter_neighbors(e)
+        other_photons = other_photons - {photon}
+        if other_photons:
+            continue
+        cost = len(other_emitters)
+        if best is None or cost < best[0]:
+            best = (cost, e)
+    return best
+
+
+def _liberation_candidate(state: ReductionState) -> tuple[int, int] | None:
+    """Best (cost, emitter) that can be freed by disconnecting it, or ``None``."""
+    best: tuple[int, int] | None = None
+    for emitter in sorted(state.active_emitters):
+        photons, emitters = state.emitter_neighbors(emitter)
+        if photons:
+            continue
+        cost = len(emitters)
+        if best is None or cost < best[0]:
+            best = (cost, emitter)
+    return best
+
+
+def _liberate(state: ReductionState, emitter: int, tag: str) -> None:
+    """Disconnect ``emitter`` from all of its (emitter) neighbours and free it."""
+    _, neighbours = state.emitter_neighbors(emitter)
+    for other in sorted(neighbours):
+        state.apply_disconnect(emitter, other, tag=tag)
+    state.apply_free_emitter(emitter, tag=tag)
+
+
+# --------------------------------------------------------------------------- #
+# Photon removal
+# --------------------------------------------------------------------------- #
+
+
+def reduce_photon(
+    state: ReductionState,
+    photon: int,
+    strategy: GreedyReductionStrategy,
+    tag: str = "",
+) -> None:
+    """Remove one photon from the working graph using the rule priority.
+
+    This is exposed separately from :func:`greedy_reduce` so that the
+    subgraph search (:mod:`repro.core.subgraph_compiler`) can drive photon
+    removal step by step while exploring different processing orders.
+    """
+    if state.photon_degree(photon) == 0:
+        state.apply_emit_isolated(photon, tag=tag)
+        return
+
+    dangling = _find_dangling_emitter(state, photon)
+    if dangling is not None:
+        state.apply_absorb_dangling(dangling, photon, tag=tag)
+        return
+
+    leaf_host = _find_leaf_host(state, photon)
+    if leaf_host is not None:
+        state.apply_absorb_leaf(leaf_host, photon, tag=tag)
+        return
+
+    if strategy.enable_twin_rule:
+        twin = _find_twin_emitter(state, photon)
+        if twin is not None:
+            state.apply_absorb_twin(twin, photon, tag=tag)
+            return
+
+    # Costed choice between disconnect-absorb and swap.
+    _, emitter_neighbours = state.photon_neighbors(photon)
+    deferred_edges = len(emitter_neighbours)
+
+    absorb_option = (
+        _disconnect_absorb_candidate(state, photon)
+        if strategy.allow_disconnect_absorb
+        else None
+    )
+    absorb_cost = math.inf
+    if absorb_option is not None:
+        # The chosen emitter stops counting as a deferred edge once it hosts
+        # the photon's neighbourhood.
+        absorb_cost = absorb_option[0] + max(0, deferred_edges - 1)
+
+    budget = strategy.emitter_budget
+    can_allocate = budget is None or state.num_emitters_allocated < budget
+    liberation: tuple[int, int] | None = None
+    swap_setup_cost = 0.0
+    if not state.free_emitters:
+        if can_allocate and not strategy.prefer_disconnect_over_allocate:
+            swap_setup_cost = 0.0
+        else:
+            liberation = _liberation_candidate(state)
+            if liberation is not None:
+                swap_setup_cost = liberation[0]
+            elif can_allocate:
+                # Nothing can be liberated; fall back to allocating.
+                swap_setup_cost = 0.0
+            elif strategy.strict_budget:
+                raise InsufficientEmittersError(
+                    "no free emitter, no emitter can be liberated and the budget "
+                    f"of {budget} is exhausted"
+                )
+            else:
+                swap_setup_cost = 0.0  # over-budget allocation, recorded by the state
+    swap_cost = swap_setup_cost + deferred_edges
+
+    if absorb_cost <= swap_cost and absorb_option is not None:
+        _, chosen = absorb_option
+        _, other_emitters = state.emitter_neighbors(chosen)
+        for other in sorted(other_emitters):
+            state.apply_disconnect(chosen, other, tag=tag)
+        state.apply_absorb_dangling(chosen, photon, tag=tag)
+        return
+
+    if not state.free_emitters and liberation is not None and (
+        strategy.prefer_disconnect_over_allocate or not can_allocate
+    ):
+        _liberate(state, liberation[1], tag)
+    preferred = None
+    for candidate in strategy.preferred_emitters:
+        if candidate in state.free_emitters:
+            preferred = candidate
+            break
+    state.apply_swap(photon, emitter=preferred, tag=tag)
+
+
+# --------------------------------------------------------------------------- #
+# Full reduction
+# --------------------------------------------------------------------------- #
+
+
+def greedy_reduce(
+    target_graph: GraphState,
+    processing_order: Sequence[Vertex] | None = None,
+    strategy: GreedyReductionStrategy | None = None,
+    tag: str = "",
+) -> ReductionSequence:
+    """Reduce ``target_graph`` completely and return the reduction sequence.
+
+    Args:
+        target_graph: the photonic graph state to generate.
+        processing_order: vertices in reversed-time processing order (the
+            first vertex listed is the photon emitted *last* in the forward
+            circuit).  Defaults to the reverse of the vertex order, which
+            makes the forward emission order the natural vertex order — the
+            baseline behaviour.
+        strategy: greedy policy knobs (:class:`GreedyReductionStrategy`).
+        tag: tag attached to every generated operation/gate.
+
+    Returns:
+        A complete :class:`repro.core.reduction.ReductionSequence` that can be
+        turned into a verified forward circuit with ``.to_circuit()``.
+    """
+    if strategy is None:
+        strategy = GreedyReductionStrategy()
+    state = ReductionState(
+        target_graph,
+        emitter_budget=strategy.emitter_budget,
+        strict_budget=strategy.strict_budget,
+    )
+    if processing_order is None:
+        processing_order = list(reversed(target_graph.vertices()))
+    else:
+        processing_order = list(processing_order)
+    if set(processing_order) != set(target_graph.vertices()) or len(
+        processing_order
+    ) != target_graph.num_vertices:
+        raise ValueError("processing_order must be a permutation of the target vertices")
+
+    for vertex in processing_order:
+        photon = state.photon_of_vertex[vertex]
+        if not state.photon_in_graph(photon):  # pragma: no cover - defensive
+            continue
+        reduce_photon(state, photon, strategy, tag)
+        if strategy.free_isolated_eagerly:
+            state.free_isolated_emitters(tag=tag)
+    return state.finish(tag=tag)

@@ -1,0 +1,34 @@
+"""Evaluation harness: regenerate every figure of the paper's evaluation.
+
+* :mod:`repro.evaluation.experiments` — run one (graph, compiler, baseline)
+  comparison point and collect all metrics.
+* :mod:`repro.evaluation.figures` — the per-figure sweeps (Fig. 10 a-f,
+  Fig. 11 a-b, plus the Fig. 5 emitter-usage curve and a compile-runtime
+  scaling study), each returning a :class:`repro.evaluation.report.FigureData`.
+* :mod:`repro.evaluation.report` — plain-text table rendering used by the
+  benchmarks, the examples and the CLI.
+"""
+
+from repro.evaluation.experiments import ComparisonPoint, run_comparison
+from repro.evaluation.figures import (
+    figure10_cnot,
+    figure10_duration,
+    figure11_loss,
+    figure11_lc_edges,
+    figure5_emitter_usage,
+    runtime_scaling,
+)
+from repro.evaluation.report import FigureData, render_table
+
+__all__ = [
+    "ComparisonPoint",
+    "run_comparison",
+    "figure10_cnot",
+    "figure10_duration",
+    "figure11_loss",
+    "figure11_lc_edges",
+    "figure5_emitter_usage",
+    "runtime_scaling",
+    "FigureData",
+    "render_table",
+]

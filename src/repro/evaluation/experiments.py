@@ -1,0 +1,137 @@
+"""Single comparison points: framework vs baseline on one graph.
+
+Every figure of the paper's evaluation is a sweep over graphs of one family;
+the primitive underneath is always the same — compile the graph with the
+framework and with the GraphiQ-like baseline under identical hardware
+assumptions and collect the three hardware-aware metrics (#emitter-emitter
+CNOT, circuit duration, photon loss).  :func:`run_comparison` is that
+primitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baseline.naive import BaselineCompiler, BaselineResult
+from repro.core.compiler import CompilationResult, EmitterCompiler
+from repro.core.config import CompilerConfig
+from repro.graphs.graph_state import GraphState
+from repro.hardware.models import HardwareModel, quantum_dot
+
+__all__ = ["ComparisonPoint", "run_comparison", "fast_config"]
+
+
+def fast_config(
+    emitter_limit_factor: float = 1.5,
+    hardware: HardwareModel | None = None,
+    seed: int = 7,
+    verify: bool = False,
+) -> CompilerConfig:
+    """A compiler configuration tuned for benchmark sweeps.
+
+    It keeps the paper's structural parameters (``g_max = 7``, ``l = 15``)
+    but trims the per-subgraph ordering search so that full sweeps finish in
+    seconds rather than minutes.
+    """
+    return CompilerConfig(
+        max_subgraph_size=7,
+        lc_budget=15,
+        emitter_limit_factor=emitter_limit_factor,
+        max_order_candidates=48,
+        exhaustive_order_threshold=5,
+        hardware=hardware if hardware is not None else quantum_dot(),
+        seed=seed,
+        verify=verify,
+    )
+
+
+@dataclass
+class ComparisonPoint:
+    """Results of compiling one graph with both compilers."""
+
+    graph: GraphState
+    ours: CompilationResult
+    baseline: BaselineResult
+
+    # ------------------------------------------------------------------ #
+    # Metric accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_qubits(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def baseline_cnots(self) -> int:
+        return self.baseline.metrics.num_emitter_emitter_cnots
+
+    @property
+    def ours_cnots(self) -> int:
+        return self.ours.metrics.num_emitter_emitter_cnots
+
+    @property
+    def cnot_reduction_percent(self) -> float:
+        if self.baseline_cnots == 0:
+            return 0.0
+        return 100.0 * (self.baseline_cnots - self.ours_cnots) / self.baseline_cnots
+
+    @property
+    def baseline_duration(self) -> float:
+        return self.baseline.metrics.duration
+
+    @property
+    def ours_duration(self) -> float:
+        return self.ours.metrics.duration
+
+    @property
+    def duration_reduction_percent(self) -> float:
+        if self.baseline_duration <= 0:
+            return 0.0
+        return 100.0 * (self.baseline_duration - self.ours_duration) / self.baseline_duration
+
+    @property
+    def baseline_loss(self) -> float:
+        return float(self.baseline.metrics.photon_loss_probability or 0.0)
+
+    @property
+    def ours_loss(self) -> float:
+        return float(self.ours.metrics.photon_loss_probability or 0.0)
+
+    @property
+    def loss_improvement_factor(self) -> float:
+        """How many times lower the framework's state loss probability is."""
+        if self.ours_loss <= 0:
+            return float("inf") if self.baseline_loss > 0 else 1.0
+        return self.baseline_loss / self.ours_loss
+
+
+def run_comparison(
+    graph: GraphState,
+    config: CompilerConfig | None = None,
+    baseline_emitter_limit: int | None = None,
+    verify: bool = False,
+) -> ComparisonPoint:
+    """Compile ``graph`` with the framework and with the baseline.
+
+    Args:
+        graph: target graph state.
+        config: framework configuration (defaults to :func:`fast_config`).
+        baseline_emitter_limit: emitter cap handed to the baseline (``None``
+            keeps the baseline's minimal-emitter behaviour).
+        verify: verify both circuits against the target on the stabilizer
+            simulator (slower; used by the integration tests).
+
+    Returns:
+        A :class:`ComparisonPoint`.
+    """
+    if config is None:
+        config = fast_config(verify=verify)
+    elif verify and not config.verify:
+        config = config.with_overrides(verify=True)
+    ours = EmitterCompiler(config).compile(graph)
+    baseline = BaselineCompiler(
+        hardware=config.hardware,
+        emitter_limit=baseline_emitter_limit,
+        verify=verify,
+    ).compile(graph)
+    return ComparisonPoint(graph=graph, ours=ours, baseline=baseline)

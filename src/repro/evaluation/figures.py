@@ -1,0 +1,317 @@
+"""Per-figure experiment sweeps.
+
+Each function regenerates the data behind one figure of the paper's
+evaluation section and returns it as a
+:class:`repro.evaluation.report.FigureData` (series of rows plus aggregate
+summary), which the benchmarks print and EXPERIMENTS.md records.
+
+Default sweep sizes follow the paper (lattice 10-60 qubits, tree 10-40,
+random/Waxman 10-35); callers — in particular the pytest benchmarks — can
+pass smaller size lists to keep wall-clock time down.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Sequence
+
+from repro.baseline.naive import BaselineCompiler
+from repro.core.compiler import EmitterCompiler
+from repro.core.config import CompilerConfig
+from repro.core.partition import GraphPartitioner
+from repro.evaluation.experiments import ComparisonPoint, fast_config, run_comparison
+from repro.evaluation.report import FigureData
+from repro.graphs.generators import benchmark_graph, linear_cluster, waxman_graph
+from repro.graphs.graph_state import GraphState
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "figure10_cnot",
+    "figure10_duration",
+    "figure11_loss",
+    "figure11_lc_edges",
+    "figure5_emitter_usage",
+    "runtime_scaling",
+]
+
+#: Paper sweep sizes per graph family (Fig. 10).
+DEFAULT_SIZES: dict[str, tuple[int, ...]] = {
+    "lattice": (10, 20, 30, 40, 50, 60),
+    "tree": (10, 20, 30, 40),
+    "random": (10, 15, 20, 25, 30, 35),
+}
+
+
+def _graph_for(family: str, size: int, seed: int) -> GraphState:
+    return benchmark_graph(family, size, seed=seed)
+
+
+def _positive_mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 10 (a)-(c): emitter-emitter CNOT counts
+# --------------------------------------------------------------------------- #
+
+
+def figure10_cnot(
+    family: str,
+    sizes: Sequence[int] | None = None,
+    seed: int = 11,
+    config: CompilerConfig | None = None,
+) -> FigureData:
+    """#emitter-emitter CNOTs, framework vs baseline (Fig. 10 a-c)."""
+    sizes = list(sizes) if sizes is not None else list(DEFAULT_SIZES[family])
+    data = FigureData(
+        name=f"fig10_cnot_{family}",
+        description=(
+            f"Emitter-emitter CNOT count on {family} graphs: GraphiQ-like baseline vs "
+            "our framework, with the per-size reduction percentage."
+        ),
+        columns=["num_qubits", "baseline_cnot", "ours_cnot", "reduction_percent"],
+    )
+    reductions = []
+    for offset, size in enumerate(sizes):
+        graph = _graph_for(family, size, seed + offset)
+        point = run_comparison(graph, config=config)
+        data.add_row(
+            [
+                graph.num_vertices,
+                point.baseline_cnots,
+                point.ours_cnots,
+                point.cnot_reduction_percent,
+            ]
+        )
+        reductions.append(point.cnot_reduction_percent)
+    data.summary = {
+        "average_reduction_percent": _positive_mean(reductions),
+        "maximum_reduction_percent": max(reductions, default=0.0),
+    }
+    return data
+
+
+# --------------------------------------------------------------------------- #
+# Figure 10 (d)-(f): circuit duration under two emitter-resource settings
+# --------------------------------------------------------------------------- #
+
+
+def figure10_duration(
+    family: str,
+    sizes: Sequence[int] | None = None,
+    factors: Sequence[float] = (1.5, 2.0),
+    seed: int = 11,
+) -> FigureData:
+    """Circuit duration (in tau_QD) under N_e^limit = factor * N_e^min (Fig. 10 d-f)."""
+    sizes = list(sizes) if sizes is not None else list(DEFAULT_SIZES[family])
+    factors = list(factors)
+    columns = ["num_qubits"]
+    for factor in factors:
+        columns.extend(
+            [
+                f"baseline_duration_{factor}x",
+                f"ours_duration_{factor}x",
+                f"reduction_percent_{factor}x",
+            ]
+        )
+    data = FigureData(
+        name=f"fig10_duration_{family}",
+        description=(
+            f"Circuit duration on {family} graphs under emitter limits of "
+            f"{' and '.join(str(f) for f in factors)} times N_e^min."
+        ),
+        columns=columns,
+    )
+    per_factor_reductions: dict[float, list[float]] = {f: [] for f in factors}
+    for offset, size in enumerate(sizes):
+        graph = _graph_for(family, size, seed + offset)
+        row: list[object] = [graph.num_vertices]
+        for factor in factors:
+            config = fast_config(emitter_limit_factor=factor)
+            ours = EmitterCompiler(config).compile(graph)
+            baseline_limit = max(1, math.ceil(factor * ours.minimum_emitters))
+            baseline = BaselineCompiler(
+                hardware=config.hardware, emitter_limit=baseline_limit
+            ).compile(graph)
+            reduction = 0.0
+            if baseline.metrics.duration > 0:
+                reduction = 100.0 * (
+                    baseline.metrics.duration - ours.metrics.duration
+                ) / baseline.metrics.duration
+            row.extend([baseline.metrics.duration, ours.metrics.duration, reduction])
+            per_factor_reductions[factor].append(reduction)
+        data.add_row(row)
+    data.summary = {}
+    for factor in factors:
+        data.summary[f"average_reduction_percent_{factor}x"] = _positive_mean(
+            per_factor_reductions[factor]
+        )
+        data.summary[f"maximum_reduction_percent_{factor}x"] = max(
+            per_factor_reductions[factor], default=0.0
+        )
+    return data
+
+
+# --------------------------------------------------------------------------- #
+# Figure 11 (a): photon loss
+# --------------------------------------------------------------------------- #
+
+
+def figure11_loss(
+    families: Sequence[str] = ("lattice", "tree", "random"),
+    sizes: dict[str, Sequence[int]] | None = None,
+    seed: int = 11,
+) -> FigureData:
+    """State photon-loss probability, baseline vs framework (Fig. 11 a).
+
+    Uses the quantum-dot loss rate (0.5 % per tau_QD) and
+    ``N_e^limit = 1.5 N_e^min``, as in the paper.
+    """
+    data = FigureData(
+        name="fig11a_photon_loss",
+        description=(
+            "Photon loss probability of the final graph state (0.5% loss per tau_QD), "
+            "averaged per graph family; improvement factor = baseline / ours."
+        ),
+        columns=[
+            "family",
+            "num_qubits",
+            "baseline_loss",
+            "ours_loss",
+            "improvement_factor",
+        ],
+    )
+    factors_per_family: dict[str, list[float]] = {}
+    for family in families:
+        family_sizes = (
+            list(sizes[family]) if sizes is not None and family in sizes
+            else list(DEFAULT_SIZES[family])
+        )
+        for offset, size in enumerate(family_sizes):
+            graph = _graph_for(family, size, seed + offset)
+            point = run_comparison(graph, config=fast_config(emitter_limit_factor=1.5))
+            data.add_row(
+                [
+                    family,
+                    graph.num_vertices,
+                    point.baseline_loss,
+                    point.ours_loss,
+                    point.loss_improvement_factor,
+                ]
+            )
+            factors_per_family.setdefault(family, []).append(
+                point.loss_improvement_factor
+            )
+    data.summary = {
+        f"average_improvement_{family}": _positive_mean(values)
+        for family, values in factors_per_family.items()
+    }
+    return data
+
+
+# --------------------------------------------------------------------------- #
+# Figure 11 (b): stem-edge reduction from local complementation
+# --------------------------------------------------------------------------- #
+
+
+def figure11_lc_edges(
+    sizes: Sequence[int] = (10, 15, 20, 25, 30),
+    seed: int = 11,
+    lc_budget: int = 15,
+) -> FigureData:
+    """Average number of inter-subgraph edges with and without LC (Fig. 11 b)."""
+    data = FigureData(
+        name="fig11b_lc_stem_edges",
+        description=(
+            "Number of inter-subgraph (stem) edges on Waxman graphs when the partitioner "
+            f"may use up to l={lc_budget} local complementations versus l=0."
+        ),
+        columns=["num_qubits", "stem_edges_no_lc", "stem_edges_with_lc", "reduction"],
+    )
+    reductions = []
+    for offset, size in enumerate(sizes):
+        graph = waxman_graph(size, seed=seed + offset)
+        without = GraphPartitioner(fast_config().with_overrides(lc_budget=0)).partition(graph)
+        with_lc = GraphPartitioner(
+            fast_config().with_overrides(lc_budget=lc_budget)
+        ).partition(graph)
+        reduction = without.num_stem_edges - with_lc.num_stem_edges
+        data.add_row(
+            [graph.num_vertices, without.num_stem_edges, with_lc.num_stem_edges, reduction]
+        )
+        reductions.append(reduction)
+    data.summary = {
+        "average_stem_edge_reduction": _positive_mean(reductions),
+        "total_stem_edge_reduction": float(sum(reductions)),
+    }
+    return data
+
+
+# --------------------------------------------------------------------------- #
+# Figure 5 (motivation): emitter usage over time
+# --------------------------------------------------------------------------- #
+
+
+def figure5_emitter_usage(
+    graph: GraphState | None = None, seed: int = 11
+) -> FigureData:
+    """Emitter-usage-over-time curve of a generation circuit (Fig. 5)."""
+    if graph is None:
+        graph = benchmark_graph("lattice", 12, seed=seed)
+    baseline = BaselineCompiler().compile(graph)
+    ours = EmitterCompiler(fast_config()).compile(graph)
+    data = FigureData(
+        name="fig5_emitter_usage",
+        description=(
+            "Number of emitters in use over time for the baseline circuit and the "
+            "framework circuit of the same graph state (step curves, time in tau_QD)."
+        ),
+        columns=["compiler", "time", "emitters_in_use"],
+    )
+    for label, schedule in (("baseline", baseline.schedule), ("ours", ours.schedule)):
+        for time_point, count in schedule.emitter_usage_curve():
+            data.add_row([label, time_point, count])
+    data.summary = {
+        "baseline_peak_emitters": float(baseline.schedule.max_emitters_in_use()),
+        "ours_peak_emitters": float(ours.schedule.max_emitters_in_use()),
+        "baseline_duration": baseline.metrics.duration,
+        "ours_duration": ours.metrics.duration,
+    }
+    return data
+
+
+# --------------------------------------------------------------------------- #
+# Compile-runtime scaling (text claim in §III)
+# --------------------------------------------------------------------------- #
+
+
+def runtime_scaling(
+    sizes: Sequence[int] = (10, 20, 40, 60),
+) -> FigureData:
+    """Compiler wall-clock time on linear cluster states of growing size.
+
+    The paper motivates the framework with GraphiQ's runtime exceeding 1000 s
+    for linear clusters beyond 10 qubits; this sweep records how the
+    divide-and-conquer compiler scales on the same family.
+    """
+    data = FigureData(
+        name="runtime_scaling_linear_cluster",
+        description="Compile time (seconds) of the framework and the baseline on linear clusters.",
+        columns=["num_qubits", "ours_seconds", "baseline_seconds"],
+    )
+    for size in sizes:
+        graph = linear_cluster(size)
+        start = time.perf_counter()
+        EmitterCompiler(fast_config()).compile(graph)
+        ours_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        BaselineCompiler().compile(graph)
+        baseline_elapsed = time.perf_counter() - start
+        data.add_row([size, ours_elapsed, baseline_elapsed])
+    ours_column = [float(v) for v in data.column("ours_seconds")]
+    data.summary = {"max_ours_seconds": max(ours_column, default=0.0)}
+    return data

@@ -1,0 +1,77 @@
+"""Plain-text reporting helpers for the evaluation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["FigureData", "render_table"]
+
+
+@dataclass
+class FigureData:
+    """Tabular data backing one figure of the paper.
+
+    Attributes:
+        name: experiment identifier (e.g. ``"fig10a_cnot_lattice"``).
+        description: one-line description of what the figure shows.
+        columns: column headers.
+        rows: data rows (same length as ``columns``).
+        summary: aggregate quantities (e.g. average/maximum reduction).
+    """
+
+    name: str
+    description: str
+    columns: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    summary: dict[str, float] = field(default_factory=dict)
+
+    def add_row(self, row: Sequence[object]) -> None:
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} entries but the figure has {len(self.columns)} columns"
+            )
+        self.rows.append(list(row))
+
+    def column(self, name: str) -> list[object]:
+        """All values of one column."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render the figure as a plain-text table plus its summary."""
+        lines = [f"== {self.name} ==", self.description, ""]
+        lines.append(render_table(self.columns, self.rows))
+        if self.summary:
+            lines.append("")
+            for key, value in self.summary.items():
+                if isinstance(value, float):
+                    lines.append(f"{key}: {value:.3f}")
+                else:
+                    lines.append(f"{key}: {value}")
+        return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(columns: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    header = [str(c) for c in columns]
+    body = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    for row in body:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

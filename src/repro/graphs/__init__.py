@@ -1,0 +1,61 @@
+"""Graph-state representation, benchmark generators and graph transformations.
+
+Modules
+-------
+
+* :mod:`repro.graphs.graph_state` — the :class:`GraphState` container used by
+  the whole compiler (thin, validated wrapper around ``networkx.Graph``).
+* :mod:`repro.graphs.generators` — the benchmark families of the paper
+  (2-D lattice, tree, Waxman random graph) plus common extras (linear cluster,
+  ring, star/GHZ, complete, repeater graph state).
+* :mod:`repro.graphs.local_complementation` — local complementation (LC)
+  rewrites, LC sequences and the single-qubit Clifford corrections they imply.
+* :mod:`repro.graphs.entanglement` — cut rank / height function and the
+  minimal-emitter bound of Li, Economou & Barnes (2022).
+"""
+
+from repro.graphs.graph_state import GraphState
+from repro.graphs.generators import (
+    complete_graph,
+    lattice_graph,
+    linear_cluster,
+    random_tree,
+    repeater_graph_state,
+    ring_graph,
+    star_graph,
+    tree_graph,
+    waxman_graph,
+)
+from repro.graphs.local_complementation import (
+    LCOperation,
+    apply_lc_sequence,
+    lc_correction_gates,
+    local_complement,
+    minimize_edges_by_lc,
+)
+from repro.graphs.entanglement import (
+    cut_rank,
+    height_function,
+    minimum_emitters,
+)
+
+__all__ = [
+    "GraphState",
+    "complete_graph",
+    "lattice_graph",
+    "linear_cluster",
+    "random_tree",
+    "repeater_graph_state",
+    "ring_graph",
+    "star_graph",
+    "tree_graph",
+    "waxman_graph",
+    "LCOperation",
+    "apply_lc_sequence",
+    "lc_correction_gates",
+    "local_complement",
+    "minimize_edges_by_lc",
+    "cut_rank",
+    "height_function",
+    "minimum_emitters",
+]

@@ -1,0 +1,261 @@
+"""Benchmark graph-state families.
+
+The paper evaluates three graph families (Fig. 9):
+
+* **Lattice** — a 2-D square grid, the elementary resource of
+  measurement-based quantum computing;
+* **Tree** — connected acyclic graphs, the structure of QRAM routers and of
+  tree codes for quantum error correction;
+* **Random (Waxman)** — the Waxman random-geometric model, covering the
+  communication topologies of distributed quantum computing and quantum
+  networks.
+
+This module also ships several standard extras used by the examples and the
+test-suite: linear cluster states, rings, stars (GHZ-equivalent), complete
+graphs and repeater graph states (RGS).
+
+All generators return :class:`repro.graphs.graph_state.GraphState` instances
+with integer vertex labels ``0..n-1`` and are deterministic for a fixed
+``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+
+from repro.graphs.graph_state import GraphState
+from repro.utils.misc import check_positive, make_rng
+
+__all__ = [
+    "lattice_graph",
+    "tree_graph",
+    "random_tree",
+    "waxman_graph",
+    "linear_cluster",
+    "ring_graph",
+    "star_graph",
+    "complete_graph",
+    "repeater_graph_state",
+    "benchmark_graph",
+]
+
+
+def lattice_graph(rows: int, cols: int) -> GraphState:
+    """A 2-D square-grid cluster state with ``rows x cols`` vertices.
+
+    Vertex ``(r, c)`` is labelled ``r * cols + c``; nearest neighbours along
+    rows and columns are connected.
+    """
+    check_positive("rows", rows)
+    check_positive("cols", cols)
+    graph = GraphState(vertices=range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(v, v + 1)
+            if r + 1 < rows:
+                graph.add_edge(v, v + cols)
+    return graph
+
+
+def tree_graph(depth: int, branching: int) -> GraphState:
+    """A complete ``branching``-ary tree of the given ``depth``.
+
+    ``depth = 0`` yields a single vertex.  This is the regular-tree shape used
+    by QRAM routers; for irregular trees use :func:`random_tree`.
+    """
+    if depth < 0:
+        raise ValueError(f"depth must be >= 0, got {depth}")
+    check_positive("branching", branching)
+    graph = GraphState(vertices=[0])
+    next_label = 1
+    frontier = [0]
+    for _ in range(depth):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                child = next_label
+                next_label += 1
+                graph.add_vertex(child)
+                graph.add_edge(parent, child)
+                new_frontier.append(child)
+        frontier = new_frontier
+    return graph
+
+
+def random_tree(num_vertices: int, seed: int | np.random.Generator | None = None) -> GraphState:
+    """A uniformly random labelled tree on ``num_vertices`` vertices.
+
+    Generated from a random Prüfer sequence, so every labelled tree is equally
+    likely.  ``num_vertices = 1`` and ``2`` are handled explicitly.
+    """
+    check_positive("num_vertices", num_vertices)
+    rng = make_rng(seed)
+    if num_vertices == 1:
+        return GraphState(vertices=[0])
+    if num_vertices == 2:
+        return GraphState(vertices=[0, 1], edges=[(0, 1)])
+    prufer = [int(rng.integers(0, num_vertices)) for _ in range(num_vertices - 2)]
+    degree = [1] * num_vertices
+    for v in prufer:
+        degree[v] += 1
+    graph = GraphState(vertices=range(num_vertices))
+    import heapq
+
+    leaves = [v for v in range(num_vertices) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for v in prufer:
+        leaf = heapq.heappop(leaves)
+        graph.add_edge(leaf, v)
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, v)
+    last_two = [v for v in range(num_vertices) if degree[v] == 1 and graph.degree(v) == 0]
+    # The two remaining vertices of the Prüfer decoding are joined directly.
+    remaining = sorted(leaves)
+    if len(remaining) >= 2:
+        graph.add_edge(remaining[0], remaining[1])
+    elif len(last_two) == 2:  # pragma: no cover - defensive fallback
+        graph.add_edge(last_two[0], last_two[1])
+    return graph
+
+
+def waxman_graph(
+    num_vertices: int,
+    alpha: float = 0.6,
+    beta: float = 0.2,
+    seed: int | np.random.Generator | None = None,
+    ensure_connected: bool = True,
+) -> GraphState:
+    """A Waxman random geometric graph (Waxman 1988).
+
+    Vertices are placed uniformly in the unit square; an edge between ``u``
+    and ``v`` at Euclidean distance ``d`` is created with probability
+    ``alpha * exp(-d / (beta * L))`` where ``L`` is the maximal distance.
+
+    Args:
+        num_vertices: number of vertices.
+        alpha: overall edge density knob (0, 1].  The defaults give sparse
+            communication-network-like topologies (average degree roughly
+            3-5), which is the regime quantum-network benchmarks target.
+        beta: decay-length knob (0, 1]; larger values favour long edges.
+        seed: RNG seed or generator for reproducibility.
+        ensure_connected: when True, missing connectivity is repaired by
+            linking consecutive components with their closest vertex pair
+            (the paper's benchmarks are connected communication topologies).
+    """
+    check_positive("num_vertices", num_vertices)
+    if not 0 < alpha <= 1:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if not 0 < beta <= 1:
+        raise ValueError(f"beta must be in (0, 1], got {beta}")
+    rng = make_rng(seed)
+    positions = {v: (float(rng.random()), float(rng.random())) for v in range(num_vertices)}
+    max_distance = math.sqrt(2.0)
+    graph = GraphState(vertices=range(num_vertices))
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            du = positions[u]
+            dv = positions[v]
+            distance = math.dist(du, dv)
+            probability = alpha * math.exp(-distance / (beta * max_distance))
+            if rng.random() < probability:
+                graph.add_edge(u, v)
+    if ensure_connected and num_vertices > 1:
+        components = graph.connected_components()
+        while len(components) > 1:
+            comp_a = components[0]
+            comp_b = components[1]
+            best_pair = None
+            best_distance = float("inf")
+            for u in comp_a:
+                for v in comp_b:
+                    distance = math.dist(positions[u], positions[v])
+                    if distance < best_distance:
+                        best_distance = distance
+                        best_pair = (u, v)
+            assert best_pair is not None
+            graph.add_edge(*best_pair)
+            components = graph.connected_components()
+    return graph
+
+
+def linear_cluster(num_vertices: int) -> GraphState:
+    """A 1-D cluster (path) state ``0 - 1 - ... - (n-1)``."""
+    check_positive("num_vertices", num_vertices)
+    edges = [(i, i + 1) for i in range(num_vertices - 1)]
+    return GraphState(vertices=range(num_vertices), edges=edges)
+
+
+def ring_graph(num_vertices: int) -> GraphState:
+    """A cycle graph state; requires at least 3 vertices."""
+    if num_vertices < 3:
+        raise ValueError(f"a ring needs at least 3 vertices, got {num_vertices}")
+    edges = [(i, (i + 1) % num_vertices) for i in range(num_vertices)]
+    return GraphState(vertices=range(num_vertices), edges=edges)
+
+
+def star_graph(num_vertices: int) -> GraphState:
+    """A star graph state (LC-equivalent to the GHZ state) with centre 0."""
+    check_positive("num_vertices", num_vertices)
+    edges = [(0, i) for i in range(1, num_vertices)]
+    return GraphState(vertices=range(num_vertices), edges=edges)
+
+
+def complete_graph(num_vertices: int) -> GraphState:
+    """The complete graph state on ``num_vertices`` vertices."""
+    check_positive("num_vertices", num_vertices)
+    edges = [(i, j) for i in range(num_vertices) for j in range(i + 1, num_vertices)]
+    return GraphState(vertices=range(num_vertices), edges=edges)
+
+
+def repeater_graph_state(num_arms: int) -> GraphState:
+    """The repeater graph state (RGS) of Azuma, Tamaki & Lo (2015).
+
+    The RGS with ``num_arms`` arms has ``2 * num_arms`` vertices: an inner
+    fully connected core of ``num_arms`` vertices, each attached to one outer
+    leaf.  It is the standard resource for all-photonic quantum repeaters and
+    the benchmark of Kaur et al. (2024).
+    """
+    check_positive("num_arms", num_arms)
+    inner = list(range(num_arms))
+    outer = list(range(num_arms, 2 * num_arms))
+    graph = GraphState(vertices=range(2 * num_arms))
+    for i in range(num_arms):
+        for j in range(i + 1, num_arms):
+            graph.add_edge(inner[i], inner[j])
+    for i in range(num_arms):
+        graph.add_edge(inner[i], outer[i])
+    return graph
+
+
+def benchmark_graph(
+    family: str,
+    num_vertices: int,
+    seed: int | np.random.Generator | None = None,
+) -> GraphState:
+    """Build a benchmark graph of roughly ``num_vertices`` vertices.
+
+    ``family`` is one of ``"lattice"``, ``"tree"`` or ``"random"`` (Waxman),
+    matching the paper's three benchmark columns.  Lattice sizes are rounded
+    to the closest feasible ``rows x cols`` rectangle (as square as possible),
+    so the returned graph may have slightly fewer vertices than requested;
+    tree and random graphs match the request exactly.
+    """
+    check_positive("num_vertices", num_vertices)
+    family = family.lower()
+    if family == "lattice":
+        rows = max(2, int(math.floor(math.sqrt(num_vertices))))
+        cols = max(2, num_vertices // rows)
+        return lattice_graph(rows, cols)
+    if family == "tree":
+        return random_tree(num_vertices, seed=seed)
+    if family in ("random", "waxman"):
+        return waxman_graph(num_vertices, seed=seed)
+    raise ValueError(
+        f"unknown benchmark family {family!r}; expected 'lattice', 'tree' or 'random'"
+    )

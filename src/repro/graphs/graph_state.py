@@ -1,0 +1,260 @@
+"""The :class:`GraphState` container.
+
+A graph state ``|G>`` is fully described by its underlying simple undirected
+graph ``G = (V, E)``: prepare ``|+>`` on every vertex and apply a CZ for every
+edge.  The compiler therefore manipulates plain graphs; this class wraps
+:class:`networkx.Graph` with the small amount of validation and the helper
+operations (edge toggling, local complementation, induced subgraphs,
+conversion to a stabilizer tableau) that the rest of the package relies on.
+
+Vertex labels may be arbitrary hashable objects; the compilation pipeline
+normalises them to ``0..n-1`` integers via :meth:`GraphState.relabeled`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+import networkx as nx
+
+from repro.stabilizer.tableau import StabilizerState
+from repro.utils.misc import normalize_edge
+
+__all__ = ["GraphState"]
+
+Vertex = Hashable
+
+
+class GraphState:
+    """A photonic graph state described by its underlying simple graph."""
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] | None = None,
+        edges: Iterable[tuple[Vertex, Vertex]] | None = None,
+    ):
+        self._graph = nx.Graph()
+        if vertices is not None:
+            self._graph.add_nodes_from(vertices)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph) -> "GraphState":
+        """Build a :class:`GraphState` from an existing ``networkx`` graph.
+
+        Self-loops are rejected (they have no meaning for graph states);
+        parallel edges cannot occur because ``nx.Graph`` is simple.
+        """
+        state = cls()
+        state._graph.add_nodes_from(graph.nodes)
+        for u, v in graph.edges:
+            if u == v:
+                raise ValueError(f"graph states cannot contain self-loops ({u!r})")
+            state._graph.add_edge(u, v)
+        return state
+
+    def copy(self) -> "GraphState":
+        """Return a deep copy (vertex labels are shared, structure is not)."""
+        clone = GraphState()
+        clone._graph = self._graph.copy()
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying ``networkx`` graph (mutating it bypasses validation)."""
+        return self._graph
+
+    @property
+    def num_vertices(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self._graph.number_of_edges()
+
+    def vertices(self) -> list[Vertex]:
+        """Vertices in insertion order."""
+        return list(self._graph.nodes)
+
+    def edges(self) -> list[tuple[Vertex, Vertex]]:
+        """Edges with canonically ordered endpoints."""
+        return [normalize_edge(u, v) for u, v in self._graph.edges]
+
+    def has_vertex(self, v: Vertex) -> bool:
+        return self._graph.has_node(v)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return self._graph.has_edge(u, v)
+
+    def neighbors(self, v: Vertex) -> set[Vertex]:
+        """The open neighbourhood of ``v``."""
+        if not self._graph.has_node(v):
+            raise KeyError(f"vertex {v!r} not in graph")
+        return set(self._graph.neighbors(v))
+
+    def degree(self, v: Vertex) -> int:
+        if not self._graph.has_node(v):
+            raise KeyError(f"vertex {v!r} not in graph")
+        return int(self._graph.degree[v])
+
+    def is_connected(self) -> bool:
+        """True when the graph has a single connected component (or is empty)."""
+        if self.num_vertices == 0:
+            return True
+        return nx.is_connected(self._graph)
+
+    def connected_components(self) -> list[set[Vertex]]:
+        return [set(c) for c in nx.connected_components(self._graph)]
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._graph.nodes)
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphState):
+            return NotImplemented
+        return set(self._graph.nodes) == set(other._graph.nodes) and set(
+            self.edges()
+        ) == set(other.edges())
+
+    def __hash__(self) -> int:  # GraphState is mutable; keep identity hash off.
+        raise TypeError("GraphState is mutable and therefore unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphState(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add_vertex(self, v: Vertex) -> None:
+        self._graph.add_node(v)
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove ``v`` and all incident edges."""
+        if not self._graph.has_node(v):
+            raise KeyError(f"vertex {v!r} not in graph")
+        self._graph.remove_node(v)
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        if u == v:
+            raise ValueError(f"graph states cannot contain self-loops ({u!r})")
+        self._graph.add_edge(u, v)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        if not self._graph.has_edge(u, v):
+            raise KeyError(f"edge ({u!r}, {v!r}) not in graph")
+        self._graph.remove_edge(u, v)
+
+    def toggle_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the edge when absent, remove it when present (CZ semantics)."""
+        if u == v:
+            raise ValueError(f"graph states cannot contain self-loops ({u!r})")
+        if self._graph.has_edge(u, v):
+            self._graph.remove_edge(u, v)
+        else:
+            self._graph.add_edge(u, v)
+
+    def local_complement(self, v: Vertex) -> None:
+        """Apply local complementation at ``v`` in place.
+
+        Every pair of neighbours of ``v`` has its edge toggled; edges incident
+        to ``v`` itself are untouched.  See
+        :mod:`repro.graphs.local_complementation` for the unitary this
+        corresponds to on the quantum state.
+        """
+        neighbours = list(self.neighbors(v))
+        for i in range(len(neighbours)):
+            for j in range(i + 1, len(neighbours)):
+                self.toggle_edge(neighbours[i], neighbours[j])
+
+    # ------------------------------------------------------------------ #
+    # Derived structures
+    # ------------------------------------------------------------------ #
+
+    def induced_subgraph(self, vertices: Iterable[Vertex]) -> "GraphState":
+        """The subgraph induced by ``vertices`` (edges with both ends inside)."""
+        vertex_set = set(vertices)
+        missing = vertex_set - set(self._graph.nodes)
+        if missing:
+            raise KeyError(f"vertices not in graph: {sorted(map(repr, missing))}")
+        sub = GraphState(vertices=vertex_set)
+        for u, v in self._graph.edges:
+            if u in vertex_set and v in vertex_set:
+                sub.add_edge(u, v)
+        return sub
+
+    def cut_edges(self, partition: Iterable[Iterable[Vertex]]) -> list[tuple[Vertex, Vertex]]:
+        """Edges whose endpoints lie in different blocks of ``partition``.
+
+        Vertices not covered by the partition are treated as singleton blocks.
+        """
+        block_of: dict[Vertex, int] = {}
+        for index, block in enumerate(partition):
+            for v in block:
+                if v in block_of:
+                    raise ValueError(f"vertex {v!r} appears in more than one block")
+                block_of[v] = index
+        next_block = len(set(block_of.values())) if block_of else 0
+        for v in self._graph.nodes:
+            if v not in block_of:
+                block_of[v] = next_block
+                next_block += 1
+        return [
+            normalize_edge(u, v)
+            for u, v in self._graph.edges
+            if block_of[u] != block_of[v]
+        ]
+
+    def relabeled(self) -> tuple["GraphState", dict[Vertex, int]]:
+        """Return a copy with vertices relabelled to ``0..n-1`` plus the mapping.
+
+        The mapping is ``original_label -> integer`` and follows the current
+        vertex insertion order, so it is deterministic.
+        """
+        mapping = {v: i for i, v in enumerate(self._graph.nodes)}
+        relabelled = GraphState(vertices=range(self.num_vertices))
+        for u, v in self._graph.edges:
+            relabelled.add_edge(mapping[u], mapping[v])
+        return relabelled, mapping
+
+    def adjacency_matrix(self, order: list[Vertex] | None = None):
+        """Dense 0/1 adjacency matrix following ``order`` (default: node order)."""
+        import numpy as np
+
+        if order is None:
+            order = list(self._graph.nodes)
+        index = {v: i for i, v in enumerate(order)}
+        if len(index) != len(order):
+            raise ValueError("order contains duplicate vertices")
+        matrix = np.zeros((len(order), len(order)), dtype=np.uint8)
+        for u, v in self._graph.edges:
+            if u in index and v in index:
+                matrix[index[u], index[v]] = 1
+                matrix[index[v], index[u]] = 1
+        return matrix
+
+    def to_stabilizer_state(self, order: list[Vertex] | None = None) -> StabilizerState:
+        """Exact stabilizer tableau of ``|G>`` with qubits following ``order``."""
+        if order is None:
+            order = list(self._graph.nodes)
+        index = {v: i for i, v in enumerate(order)}
+        edges = [(index[u], index[v]) for u, v in self._graph.edges]
+        if len(order) == 0:
+            raise ValueError("cannot build the stabilizer state of an empty graph")
+        return StabilizerState.from_graph_edges(len(order), edges)

@@ -1,0 +1,32 @@
+"""Hardware models for emitter-photonic platforms.
+
+The compiler is hardware-aware: gate durations and photon loss rates enter the
+cost function that drives subgraph compilation and scheduling.  This
+subpackage bundles
+
+* :mod:`repro.hardware.models` — named platform presets (silicon quantum dot,
+  NV centre, SiV centre, Rydberg atom) carrying gate durations, coherence
+  times and per-unit-time photon loss;
+* :mod:`repro.hardware.loss` — the photon loss / survival model used in the
+  Fig. 11(a) evaluation.
+"""
+
+from repro.hardware.models import (
+    HardwareModel,
+    nv_center,
+    quantum_dot,
+    rydberg_atom,
+    siv_center,
+    get_hardware_model,
+)
+from repro.hardware.loss import PhotonLossModel
+
+__all__ = [
+    "HardwareModel",
+    "quantum_dot",
+    "nv_center",
+    "siv_center",
+    "rydberg_atom",
+    "get_hardware_model",
+    "PhotonLossModel",
+]

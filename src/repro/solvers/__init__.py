@@ -1,0 +1,44 @@
+"""Optimisation substrates used by the graph-partitioning stage.
+
+The paper formulates partitioning + depth-limited local complementation as a
+mixed-integer program and solves it with Gurobi under a 20-minute timeout.
+This repository substitutes:
+
+* :mod:`repro.solvers.mip` — a pure-Python 0-1 integer linear program model
+  with a branch-and-bound solver, used to solve the partition model exactly
+  on small instances (and to test the model formulation itself);
+* :mod:`repro.solvers.partition_heuristics` — greedy growth partitioning and
+  Kernighan–Lin style refinement, the scalable path used for the paper-sized
+  benchmarks;
+* :mod:`repro.solvers.annealing` — a small simulated-annealing engine used by
+  the combined LC + partition search.
+"""
+
+from repro.solvers.mip import (
+    BinaryLinearProgram,
+    LinearConstraint,
+    MIPSolution,
+    MIPStatus,
+    solve_binary_program,
+)
+from repro.solvers.partition_heuristics import (
+    balanced_greedy_partition,
+    cut_size,
+    kernighan_lin_refinement,
+    partition_blocks_valid,
+)
+from repro.solvers.annealing import AnnealingResult, simulated_annealing
+
+__all__ = [
+    "BinaryLinearProgram",
+    "LinearConstraint",
+    "MIPSolution",
+    "MIPStatus",
+    "solve_binary_program",
+    "balanced_greedy_partition",
+    "cut_size",
+    "kernighan_lin_refinement",
+    "partition_blocks_valid",
+    "AnnealingResult",
+    "simulated_annealing",
+]

@@ -1,0 +1,258 @@
+"""A small 0-1 integer linear programming model and branch-and-bound solver.
+
+This is the offline substitute for the Gurobi dependency of the paper: it is
+not a general-purpose MIP solver, but it solves the binary programs produced
+by the partitioning model exactly on small instances (tens of variables) and
+gives the heuristic path something to be validated against in tests.
+
+Model form::
+
+    minimise    sum_j c_j x_j  + constant
+    subject to  sum_j a_ij x_j  (<=, >=, ==)  b_i      for every constraint i
+                x_j in {0, 1}
+
+The solver performs depth-first branch and bound:
+
+* variables are branched in order of decreasing ``|c_j|`` (most influential
+  first);
+* a node is pruned when its optimistic bound (fixing every unassigned
+  variable to whichever value helps the objective most, ignoring
+  constraints) cannot beat the incumbent;
+* constraint infeasibility is detected early from optimistic/pessimistic
+  partial sums.
+
+``max_nodes`` bounds the search; when it is hit the best incumbent found so
+far is returned and flagged as ``FEASIBLE`` rather than ``OPTIMAL``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MIPStatus",
+    "LinearConstraint",
+    "BinaryLinearProgram",
+    "MIPSolution",
+    "solve_binary_program",
+]
+
+
+class MIPStatus(str, enum.Enum):
+    """Outcome of a solve."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"
+    INFEASIBLE = "infeasible"
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """``sum_j coefficients[name] * x[name]  sense  rhs``."""
+
+    coefficients: dict[str, float]
+    sense: str
+    rhs: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sense not in ("<=", ">=", "=="):
+            raise ValueError(f"sense must be one of <=, >=, ==; got {self.sense!r}")
+        if not self.coefficients:
+            raise ValueError("a constraint needs at least one variable")
+
+
+@dataclass
+class MIPSolution:
+    """Solution returned by :func:`solve_binary_program`."""
+
+    status: MIPStatus
+    objective: float | None
+    assignment: dict[str, int]
+    nodes_explored: int
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is MIPStatus.OPTIMAL
+
+
+class BinaryLinearProgram:
+    """Builder for a 0-1 linear program."""
+
+    def __init__(self):
+        self._variables: list[str] = []
+        self._variable_set: set[str] = set()
+        self._objective: dict[str, float] = {}
+        self._objective_constant: float = 0.0
+        self._constraints: list[LinearConstraint] = []
+
+    # Building ----------------------------------------------------------------
+
+    def add_variable(self, name: str, objective_coefficient: float = 0.0) -> str:
+        """Declare a binary variable; re-declaring updates its objective weight."""
+        if name not in self._variable_set:
+            self._variables.append(name)
+            self._variable_set.add(name)
+        if objective_coefficient:
+            self._objective[name] = self._objective.get(name, 0.0) + objective_coefficient
+        return name
+
+    def add_objective_term(self, name: str, coefficient: float) -> None:
+        """Add ``coefficient * x[name]`` to the minimised objective."""
+        if name not in self._variable_set:
+            self.add_variable(name)
+        self._objective[name] = self._objective.get(name, 0.0) + coefficient
+
+    def add_objective_constant(self, value: float) -> None:
+        self._objective_constant += value
+
+    def add_constraint(
+        self, coefficients: dict[str, float], sense: str, rhs: float, name: str = ""
+    ) -> None:
+        """Add a linear constraint; unknown variables are declared on the fly."""
+        for var in coefficients:
+            if var not in self._variable_set:
+                self.add_variable(var)
+        self._constraints.append(
+            LinearConstraint(coefficients=dict(coefficients), sense=sense, rhs=rhs, name=name)
+        )
+
+    # Introspection -------------------------------------------------------------
+
+    @property
+    def variables(self) -> list[str]:
+        return list(self._variables)
+
+    @property
+    def constraints(self) -> list[LinearConstraint]:
+        return list(self._constraints)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    def objective_value(self, assignment: dict[str, int]) -> float:
+        """Evaluate the objective for a full assignment."""
+        return self._objective_constant + sum(
+            coeff * assignment.get(var, 0) for var, coeff in self._objective.items()
+        )
+
+    def is_feasible(self, assignment: dict[str, int]) -> bool:
+        """Check all constraints for a full assignment."""
+        for constraint in self._constraints:
+            value = sum(
+                coeff * assignment.get(var, 0)
+                for var, coeff in constraint.coefficients.items()
+            )
+            if constraint.sense == "<=" and value > constraint.rhs + 1e-9:
+                return False
+            if constraint.sense == ">=" and value < constraint.rhs - 1e-9:
+                return False
+            if constraint.sense == "==" and abs(value - constraint.rhs) > 1e-9:
+                return False
+        return True
+
+
+def _constraint_possible(
+    constraint: LinearConstraint, assignment: dict[str, int]
+) -> bool:
+    """Can the constraint still be satisfied given a partial assignment?"""
+    fixed = 0.0
+    min_free = 0.0
+    max_free = 0.0
+    for var, coeff in constraint.coefficients.items():
+        if var in assignment:
+            fixed += coeff * assignment[var]
+        elif coeff >= 0:
+            max_free += coeff
+        else:
+            min_free += coeff
+    lowest = fixed + min_free
+    highest = fixed + max_free
+    if constraint.sense == "<=":
+        return lowest <= constraint.rhs + 1e-9
+    if constraint.sense == ">=":
+        return highest >= constraint.rhs - 1e-9
+    return lowest <= constraint.rhs + 1e-9 and highest >= constraint.rhs - 1e-9
+
+
+def solve_binary_program(
+    program: BinaryLinearProgram, max_nodes: int = 200_000
+) -> MIPSolution:
+    """Solve ``program`` by depth-first branch and bound.
+
+    Args:
+        program: the model to solve.
+        max_nodes: node budget; when exhausted the best incumbent is returned
+            with status ``FEASIBLE`` (or ``INFEASIBLE`` if none was found — in
+            that case the caller cannot distinguish a truly infeasible model
+            from an exhausted budget and should fall back to a heuristic).
+    """
+    variables = program.variables
+    objective = {v: program._objective.get(v, 0.0) for v in variables}
+    # Branch in declaration order: models declare their "structural" variables
+    # (e.g. vertex-to-block assignments) before the derived linearisation
+    # variables, so the assignment constraints prune early and a feasible
+    # incumbent is found after a single descent.
+    order = list(variables)
+
+    best_assignment: dict[str, int] | None = None
+    best_value = float("inf")
+    nodes = 0
+    budget_exhausted = False
+
+    def optimistic_bound(assignment: dict[str, int]) -> float:
+        bound = program._objective_constant
+        for var in variables:
+            coeff = objective[var]
+            if var in assignment:
+                bound += coeff * assignment[var]
+            elif coeff < 0:
+                bound += coeff
+        return bound
+
+    def recurse(index: int, assignment: dict[str, int]) -> None:
+        nonlocal best_assignment, best_value, nodes, budget_exhausted
+        if budget_exhausted:
+            return
+        nodes += 1
+        if nodes > max_nodes:
+            budget_exhausted = True
+            return
+        for constraint in program.constraints:
+            if not _constraint_possible(constraint, assignment):
+                return
+        if optimistic_bound(assignment) >= best_value - 1e-12:
+            return
+        if index == len(order):
+            value = program.objective_value(assignment)
+            if program.is_feasible(assignment) and value < best_value:
+                best_value = value
+                best_assignment = dict(assignment)
+            return
+        var = order[index]
+        coeff = objective[var]
+        # Explore the objective-friendly branch first.
+        branches = (1, 0) if coeff < 0 else (0, 1)
+        for value in branches:
+            assignment[var] = value
+            recurse(index + 1, assignment)
+            del assignment[var]
+
+    recurse(0, {})
+
+    if best_assignment is None:
+        return MIPSolution(
+            status=MIPStatus.INFEASIBLE, objective=None, assignment={}, nodes_explored=nodes
+        )
+    status = MIPStatus.FEASIBLE if budget_exhausted else MIPStatus.OPTIMAL
+    # Fill unassigned variables (can happen only if there are none in order).
+    for var in variables:
+        best_assignment.setdefault(var, 0)
+    return MIPSolution(
+        status=status,
+        objective=best_value,
+        assignment=best_assignment,
+        nodes_explored=nodes,
+    )

@@ -1,0 +1,191 @@
+"""Partition heuristics: balanced greedy growth and Kernighan–Lin refinement.
+
+The partitioning stage needs blocks of bounded size (``g_max``) with as few
+edges between blocks as possible.  The heuristics here are deliberately
+classic:
+
+* :func:`balanced_greedy_partition` grows blocks by BFS from high-degree
+  seeds, always absorbing the frontier vertex with the most neighbours
+  already inside the block (a locality-preserving greedy);
+* :func:`kernighan_lin_refinement` then performs single-vertex relocation and
+  pairwise swap passes that strictly reduce the cut while respecting the
+  block-size cap.
+
+Both operate on :class:`repro.graphs.graph_state.GraphState` and treat vertex
+labels opaquely.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.graphs.graph_state import GraphState
+from repro.utils.misc import make_rng
+
+__all__ = [
+    "cut_size",
+    "partition_blocks_valid",
+    "balanced_greedy_partition",
+    "kernighan_lin_refinement",
+]
+
+Vertex = Hashable
+
+
+def cut_size(graph: GraphState, blocks: Sequence[Iterable[Vertex]]) -> int:
+    """Number of edges whose endpoints lie in different blocks."""
+    return len(graph.cut_edges(blocks))
+
+
+def partition_blocks_valid(
+    graph: GraphState, blocks: Sequence[Iterable[Vertex]], max_block_size: int
+) -> bool:
+    """Check that ``blocks`` is a partition of the vertices with bounded size."""
+    seen: set[Vertex] = set()
+    for block in blocks:
+        block = list(block)
+        if len(block) == 0 or len(block) > max_block_size:
+            return False
+        for v in block:
+            if v in seen or not graph.has_vertex(v):
+                return False
+            seen.add(v)
+    return seen == set(graph.vertices())
+
+
+def balanced_greedy_partition(
+    graph: GraphState,
+    max_block_size: int,
+    seed: int | None = None,
+) -> list[list[Vertex]]:
+    """Grow blocks of at most ``max_block_size`` vertices by greedy BFS.
+
+    Each block is seeded with the highest-degree unassigned vertex and grown
+    by repeatedly adding the unassigned vertex with the largest number of
+    neighbours already inside the block (ties broken by degree, then label
+    order for determinism).
+    """
+    if max_block_size <= 0:
+        raise ValueError(f"max_block_size must be positive, got {max_block_size}")
+    rng = make_rng(seed)
+    unassigned = set(graph.vertices())
+    blocks: list[list[Vertex]] = []
+
+    def sort_key(v: Vertex) -> tuple[int, str]:
+        return (-graph.degree(v), repr(v))
+
+    while unassigned:
+        seed_vertex = min(unassigned, key=sort_key)
+        block = [seed_vertex]
+        unassigned.discard(seed_vertex)
+        while len(block) < max_block_size and unassigned:
+            block_set = set(block)
+            best_vertex = None
+            best_score: tuple[int, int, str] | None = None
+            for v in unassigned:
+                internal = sum(1 for w in graph.neighbors(v) if w in block_set)
+                if internal == 0:
+                    continue
+                score = (-internal, -graph.degree(v), repr(v))
+                if best_score is None or score < best_score:
+                    best_score = score
+                    best_vertex = v
+            if best_vertex is None:
+                break
+            block.append(best_vertex)
+            unassigned.discard(best_vertex)
+        blocks.append(block)
+    # ``rng`` is kept for interface symmetry with the other heuristics even
+    # though the greedy itself is deterministic.
+    del rng
+    return blocks
+
+
+def _block_of_map(blocks: Sequence[Sequence[Vertex]]) -> dict[Vertex, int]:
+    mapping: dict[Vertex, int] = {}
+    for index, block in enumerate(blocks):
+        for v in block:
+            mapping[v] = index
+    return mapping
+
+
+def kernighan_lin_refinement(
+    graph: GraphState,
+    blocks: Sequence[Sequence[Vertex]],
+    max_block_size: int,
+    max_passes: int = 10,
+) -> list[list[Vertex]]:
+    """Improve a partition by relocations and swaps that reduce the cut.
+
+    A pass alternates two move types until neither improves the cut:
+
+    * relocate a single vertex to another (non-full) block;
+    * swap two vertices between blocks.
+
+    Only strictly improving moves are applied, so the refinement terminates
+    and never degrades the initial partition.
+    """
+    if max_block_size <= 0:
+        raise ValueError(f"max_block_size must be positive, got {max_block_size}")
+    current = [list(block) for block in blocks]
+    if not partition_blocks_valid(graph, current, max_block_size):
+        raise ValueError("initial blocks are not a valid bounded partition")
+
+    def external_gain(vertex: Vertex, origin: int, destination: int, block_of: dict) -> int:
+        """Cut reduction if ``vertex`` moves from ``origin`` to ``destination``."""
+        gain = 0
+        for w in graph.neighbors(vertex):
+            if block_of[w] == origin:
+                gain -= 1
+            elif block_of[w] == destination:
+                gain += 1
+        return gain
+
+    for _ in range(max_passes):
+        improved = False
+        block_of = _block_of_map(current)
+
+        # Single-vertex relocations.
+        for vertex in graph.vertices():
+            origin = block_of[vertex]
+            if len(current[origin]) == 1:
+                continue  # never empty a block
+            best_gain = 0
+            best_destination = None
+            for destination in range(len(current)):
+                if destination == origin or len(current[destination]) >= max_block_size:
+                    continue
+                gain = external_gain(vertex, origin, destination, block_of)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_destination = destination
+            if best_destination is not None:
+                current[origin].remove(vertex)
+                current[best_destination].append(vertex)
+                block_of[vertex] = best_destination
+                improved = True
+
+        # Pairwise swaps.
+        block_of = _block_of_map(current)
+        vertices = graph.vertices()
+        for i, u in enumerate(vertices):
+            for v in vertices[i + 1:]:
+                bu, bv = block_of[u], block_of[v]
+                if bu == bv:
+                    continue
+                gain = (
+                    external_gain(u, bu, bv, block_of)
+                    + external_gain(v, bv, bu, block_of)
+                    # Correct for the (u, v) edge being double-counted.
+                    - (2 if graph.has_edge(u, v) else 0)
+                )
+                if gain > 0:
+                    current[bu].remove(u)
+                    current[bv].remove(v)
+                    current[bu].append(v)
+                    current[bv].append(u)
+                    block_of[u], block_of[v] = bv, bu
+                    improved = True
+        if not improved:
+            break
+    return current

@@ -1,0 +1,30 @@
+"""Stabilizer-formalism substrate.
+
+The compiler never *needs* amplitude-level simulation: every state appearing
+in emitter-based graph-state generation is a stabilizer state, and every gate
+is Clifford (plus Pauli measurements with feed-forward).  This subpackage
+provides an exact, self-contained CHP-style tableau simulator used to
+
+* verify end to end that a compiled circuit maps ``|0...0>`` to the target
+  photonic graph state with all emitters returned to ``|0>``;
+* unit-test the graph rewrite rules of the reduction engine against the
+  actual quantum-mechanical transformations they claim to implement.
+
+Public API:
+
+* :class:`repro.stabilizer.tableau.StabilizerState` — the simulator.
+* :func:`repro.stabilizer.canonical.canonical_stabilizer_matrix` and
+  :func:`repro.stabilizer.canonical.states_equal` — exact state comparison.
+"""
+
+from repro.stabilizer.tableau import StabilizerState
+from repro.stabilizer.canonical import (
+    canonical_stabilizer_matrix,
+    states_equal,
+)
+
+__all__ = [
+    "StabilizerState",
+    "canonical_stabilizer_matrix",
+    "states_equal",
+]

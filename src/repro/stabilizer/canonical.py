@@ -1,0 +1,94 @@
+"""Canonical forms and exact equality tests for stabilizer states.
+
+Two stabilizer states are identical (as quantum states, up to global phase)
+if and only if their stabilizer groups coincide, *including generator signs*.
+The functions here bring a set of signed Pauli generators into a unique
+reduced row echelon form under row multiplication (which is what "adding"
+rows means for Pauli groups), so equality becomes an array comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stabilizer.tableau import StabilizerState
+
+__all__ = ["canonical_stabilizer_matrix", "states_equal"]
+
+
+def _multiply_rows(
+    x: np.ndarray, z: np.ndarray, r: np.ndarray, target: int, source: int
+) -> None:
+    """Multiply Pauli row ``target`` by row ``source`` in place (sign-tracked)."""
+    n = x.shape[1]
+    phase = 2 * int(r[target]) + 2 * int(r[source])
+    for j in range(n):
+        phase += StabilizerState._phase_exponent(
+            int(x[source, j]), int(z[source, j]), int(x[target, j]), int(z[target, j])
+        )
+    phase %= 4
+    r[target] = 1 if phase == 2 else 0
+    x[target] ^= x[source]
+    z[target] ^= z[source]
+
+
+def canonical_stabilizer_matrix(state: StabilizerState) -> np.ndarray:
+    """Return the canonical ``(n, 2n + 1)`` generator matrix of ``state``.
+
+    The canonicalisation performs Gauss–Jordan elimination over the symplectic
+    representation with the column order ``X_0..X_{n-1}, Z_0..Z_{n-1}``, using
+    Pauli row multiplication so that the signs stay consistent.  The output is
+    unique for a given stabilizer group, which makes it usable as a state
+    fingerprint.
+    """
+    n = state.num_qubits
+    x = state.x[n:].copy()
+    z = state.z[n:].copy()
+    r = state.r[n:].copy()
+
+    columns = [("x", j) for j in range(n)] + [("z", j) for j in range(n)]
+
+    def column_bit(row: int, col: tuple[str, int]) -> int:
+        kind, j = col
+        return int(x[row, j]) if kind == "x" else int(z[row, j])
+
+    pivot_row = 0
+    for col in columns:
+        if pivot_row >= n:
+            break
+        pivot = None
+        for row in range(pivot_row, n):
+            if column_bit(row, col):
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        if pivot != pivot_row:
+            x[[pivot_row, pivot]] = x[[pivot, pivot_row]]
+            z[[pivot_row, pivot]] = z[[pivot, pivot_row]]
+            r[[pivot_row, pivot]] = r[[pivot, pivot_row]]
+        for row in range(n):
+            if row != pivot_row and column_bit(row, col):
+                _multiply_rows(x, z, r, row, pivot_row)
+        pivot_row += 1
+
+    return np.concatenate([x, z, r.reshape(-1, 1)], axis=1).astype(np.uint8)
+
+
+def states_equal(state_a: StabilizerState, state_b: StabilizerState) -> bool:
+    """Exact equality of two stabilizer states (up to global phase).
+
+    Raises:
+        ValueError: when the states have different qubit counts.
+    """
+    if state_a.num_qubits != state_b.num_qubits:
+        raise ValueError(
+            "cannot compare states with different qubit counts: "
+            f"{state_a.num_qubits} vs {state_b.num_qubits}"
+        )
+    return bool(
+        np.array_equal(
+            canonical_stabilizer_matrix(state_a),
+            canonical_stabilizer_matrix(state_b),
+        )
+    )

@@ -1,0 +1,346 @@
+"""CHP-style stabilizer tableau simulator (Aaronson & Gottesman 2004).
+
+The :class:`StabilizerState` tracks ``2n`` Pauli rows (``n`` destabilizers and
+``n`` stabilizers) over ``n`` qubits together with their signs.  Supported
+operations cover everything the emitter compiler emits:
+
+* single-qubit Cliffords: ``h``, ``s``, ``sdg``, ``x``, ``y``, ``z``,
+  ``sqrt_x`` (= e^{-i pi/4 X}) and ``sqrt_x_dag``;
+* two-qubit Cliffords: ``cnot`` and ``cz``;
+* computational-basis measurement (``measure_z``) with either random or
+  forced outcomes, and ``reset`` to ``|0>``.
+
+All operations are exact; the class is pure Python + numpy and has no
+dependency on the rest of the package, so it can serve as an independent
+oracle in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.misc import make_rng
+
+__all__ = ["StabilizerState"]
+
+
+class StabilizerState:
+    """An ``n``-qubit stabilizer state in the Aaronson–Gottesman tableau form.
+
+    The tableau holds boolean matrices ``x`` and ``z`` of shape ``(2n, n)``
+    and a sign vector ``r`` of length ``2n``.  Rows ``0..n-1`` are the
+    destabilizer generators and rows ``n..2n-1`` the stabilizer generators.
+    A row with bits ``(x, z)`` and sign ``r`` represents the Pauli
+    ``(-1)^r * prod_j X_j^{x_j} Z_j^{z_j}`` (with the usual ``Y = iXZ``
+    bookkeeping handled by the row-multiplication phase function).
+
+    The state starts as ``|0>^{⊗n}``.
+    """
+
+    def __init__(self, num_qubits: int, seed: int | np.random.Generator | None = None):
+        if num_qubits <= 0:
+            raise ValueError(f"num_qubits must be positive, got {num_qubits}")
+        self.num_qubits = int(num_qubits)
+        n = self.num_qubits
+        self.x = np.zeros((2 * n, n), dtype=np.uint8)
+        self.z = np.zeros((2 * n, n), dtype=np.uint8)
+        self.r = np.zeros(2 * n, dtype=np.uint8)
+        # Destabilizer i = X_i, stabilizer i = Z_i.
+        for i in range(n):
+            self.x[i, i] = 1
+            self.z[n + i, i] = 1
+        self._rng = make_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_graph_edges(
+        cls,
+        num_qubits: int,
+        edges: list[tuple[int, int]],
+        seed: int | np.random.Generator | None = None,
+    ) -> "StabilizerState":
+        """Build the graph state ``|G>`` on ``num_qubits`` qubits.
+
+        The construction is operational (H on every qubit followed by a CZ per
+        edge) and therefore exact by definition of the graph state.
+        """
+        state = cls(num_qubits, seed=seed)
+        for q in range(num_qubits):
+            state.h(q)
+        for u, v in edges:
+            state.cz(u, v)
+        return state
+
+    def copy(self) -> "StabilizerState":
+        """Return an independent copy sharing nothing with ``self``."""
+        clone = StabilizerState(self.num_qubits)
+        clone.x = self.x.copy()
+        clone.z = self.z.copy()
+        clone.r = self.r.copy()
+        clone._rng = self._rng
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+
+    def _check_qubit(self, qubit: int) -> None:
+        if not 0 <= qubit < self.num_qubits:
+            raise ValueError(
+                f"qubit index {qubit} out of range for {self.num_qubits} qubits"
+            )
+
+    @staticmethod
+    def _phase_exponent(x1: int, z1: int, x2: int, z2: int) -> int:
+        """Exponent of ``i`` produced when multiplying single-qubit Paulis.
+
+        This is the ``g`` function of Aaronson & Gottesman: the power of ``i``
+        (in ``{-1, 0, 1}``) picked up when the Pauli described by ``(x1, z1)``
+        is multiplied on the right by the Pauli ``(x2, z2)``.
+        """
+        if x1 == 0 and z1 == 0:
+            return 0
+        if x1 == 1 and z1 == 1:
+            return z2 - x2
+        if x1 == 1 and z1 == 0:
+            return z2 * (2 * x2 - 1)
+        return x2 * (1 - 2 * z2)
+
+    def _rowsum(self, target: int, source: int) -> None:
+        """Multiply row ``target`` by row ``source`` (in place), tracking sign."""
+        n = self.num_qubits
+        phase = 2 * int(self.r[target]) + 2 * int(self.r[source])
+        for j in range(n):
+            phase += self._phase_exponent(
+                int(self.x[source, j]),
+                int(self.z[source, j]),
+                int(self.x[target, j]),
+                int(self.z[target, j]),
+            )
+        phase %= 4
+        # For valid tableaus the result is always 0 or 2 (never +/- i).
+        self.r[target] = 1 if phase == 2 else 0
+        self.x[target] ^= self.x[source]
+        self.z[target] ^= self.z[source]
+
+    # ------------------------------------------------------------------ #
+    # Single-qubit gates
+    # ------------------------------------------------------------------ #
+
+    def h(self, qubit: int) -> None:
+        """Apply a Hadamard gate: X<->Z, Y->-Y."""
+        self._check_qubit(qubit)
+        q = qubit
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.x[:, q], self.z[:, q] = self.z[:, q].copy(), self.x[:, q].copy()
+
+    def s(self, qubit: int) -> None:
+        """Apply the phase gate S = diag(1, i): X->Y, Y->-X, Z->Z."""
+        self._check_qubit(qubit)
+        q = qubit
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.z[:, q] ^= self.x[:, q]
+
+    def sdg(self, qubit: int) -> None:
+        """Apply S-dagger: X->-Y, Y->X, Z->Z."""
+        self._check_qubit(qubit)
+        q = qubit
+        self.r ^= self.x[:, q] & (1 - self.z[:, q])
+        self.z[:, q] ^= self.x[:, q]
+
+    def x_gate(self, qubit: int) -> None:
+        """Apply Pauli X (bit flip): Z->-Z, Y->-Y."""
+        self._check_qubit(qubit)
+        self.r ^= self.z[:, qubit]
+
+    def z_gate(self, qubit: int) -> None:
+        """Apply Pauli Z (phase flip): X->-X, Y->-Y."""
+        self._check_qubit(qubit)
+        self.r ^= self.x[:, qubit]
+
+    def y_gate(self, qubit: int) -> None:
+        """Apply Pauli Y: X->-X, Z->-Z."""
+        self._check_qubit(qubit)
+        self.r ^= self.x[:, qubit] ^ self.z[:, qubit]
+
+    def sqrt_x(self, qubit: int) -> None:
+        """Apply e^{-i pi/4 X} (a square root of X): Z->-Y, X->X.
+
+        Implemented as the composition H, S, H which has the identical
+        conjugation action (the two unitaries differ only by a global phase,
+        which is irrelevant for stabilizer states).
+        """
+        self.h(qubit)
+        self.s(qubit)
+        self.h(qubit)
+
+    def sqrt_x_dag(self, qubit: int) -> None:
+        """Apply e^{+i pi/4 X}: Z->Y, X->X (inverse of :meth:`sqrt_x`)."""
+        self.h(qubit)
+        self.sdg(qubit)
+        self.h(qubit)
+
+    # ------------------------------------------------------------------ #
+    # Two-qubit gates
+    # ------------------------------------------------------------------ #
+
+    def cnot(self, control: int, target: int) -> None:
+        """Apply CNOT with the given control and target qubits."""
+        self._check_qubit(control)
+        self._check_qubit(target)
+        if control == target:
+            raise ValueError("control and target must differ")
+        c, t = control, target
+        self.r ^= (
+            self.x[:, c]
+            & self.z[:, t]
+            & (self.x[:, t] ^ self.z[:, c] ^ 1)
+        )
+        self.x[:, t] ^= self.x[:, c]
+        self.z[:, c] ^= self.z[:, t]
+
+    def cz(self, qubit_a: int, qubit_b: int) -> None:
+        """Apply a controlled-Z gate (symmetric in its arguments)."""
+        self.h(qubit_b)
+        self.cnot(qubit_a, qubit_b)
+        self.h(qubit_b)
+
+    # ------------------------------------------------------------------ #
+    # Measurement and reset
+    # ------------------------------------------------------------------ #
+
+    def measure_z(self, qubit: int, forced_outcome: int | None = None) -> int:
+        """Measure ``qubit`` in the computational (Z) basis.
+
+        Args:
+            qubit: index of the measured qubit.
+            forced_outcome: when the outcome is *random* (the qubit is in a
+                superposition), force it to this value (0 or 1) instead of
+                sampling.  Ignored for deterministic outcomes.
+
+        Returns:
+            The measurement outcome, 0 or 1.
+        """
+        self._check_qubit(qubit)
+        n = self.num_qubits
+        q = qubit
+        stab_rows_with_x = [
+            n + i for i in range(n) if self.x[n + i, q]
+        ]
+        if stab_rows_with_x:
+            # Random outcome.
+            pivot = stab_rows_with_x[0]
+            if forced_outcome is None:
+                outcome = int(self._rng.integers(0, 2))
+            else:
+                outcome = int(forced_outcome) & 1
+            for row in range(2 * n):
+                if row != pivot and self.x[row, q]:
+                    self._rowsum(row, pivot)
+            # The old stabilizer becomes the destabilizer.
+            self.x[pivot - n] = self.x[pivot].copy()
+            self.z[pivot - n] = self.z[pivot].copy()
+            self.r[pivot - n] = self.r[pivot]
+            self.x[pivot] = 0
+            self.z[pivot] = 0
+            self.z[pivot, q] = 1
+            self.r[pivot] = outcome
+            return outcome
+        # Deterministic outcome: compute the sign of Z_q in the stabilizer
+        # group using a scratch row (index 2n is emulated with temporaries).
+        scratch_x = np.zeros(n, dtype=np.uint8)
+        scratch_z = np.zeros(n, dtype=np.uint8)
+        scratch_r = 0
+        for i in range(n):
+            if self.x[i, q]:
+                # Multiply scratch by stabilizer row n + i.
+                phase = 2 * scratch_r + 2 * int(self.r[n + i])
+                for j in range(n):
+                    phase += self._phase_exponent(
+                        int(self.x[n + i, j]),
+                        int(self.z[n + i, j]),
+                        int(scratch_x[j]),
+                        int(scratch_z[j]),
+                    )
+                phase %= 4
+                scratch_r = 1 if phase == 2 else 0
+                scratch_x ^= self.x[n + i]
+                scratch_z ^= self.z[n + i]
+        return int(scratch_r)
+
+    def reset(self, qubit: int) -> None:
+        """Project ``qubit`` onto the Z basis and flip it to ``|0>``."""
+        outcome = self.measure_z(qubit)
+        if outcome == 1:
+            self.x_gate(qubit)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def stabilizer_matrix(self) -> np.ndarray:
+        """Return the stabilizer block as an ``(n, 2n + 1)`` binary matrix.
+
+        Columns ``0..n-1`` are the X bits, ``n..2n-1`` the Z bits and the last
+        column the sign bit.  The rows generate the stabilizer group but are
+        not in canonical form; see :mod:`repro.stabilizer.canonical`.
+        """
+        n = self.num_qubits
+        return np.concatenate(
+            [self.x[n:], self.z[n:], self.r[n:].reshape(-1, 1)], axis=1
+        ).astype(np.uint8)
+
+    def contains_pauli(
+        self, x_bits: np.ndarray, z_bits: np.ndarray, sign: int = 0
+    ) -> bool:
+        """Check whether ``(-1)^sign * P`` is in the stabilizer group.
+
+        ``P`` is described by its X/Z bit vectors.  The test expresses the
+        candidate as a GF(2) combination of the generators and then verifies
+        the accumulated sign.
+        """
+        n = self.num_qubits
+        x_bits = np.asarray(x_bits, dtype=np.uint8) % 2
+        z_bits = np.asarray(z_bits, dtype=np.uint8) % 2
+        if x_bits.shape != (n,) or z_bits.shape != (n,):
+            raise ValueError("pauli bit vectors must have length num_qubits")
+        from repro.utils.gf2 import gf2_solve
+
+        generator_matrix = np.concatenate([self.x[n:], self.z[n:]], axis=1).T
+        target = np.concatenate([x_bits, z_bits])
+        combo = gf2_solve(generator_matrix, target)
+        if combo is None:
+            return False
+        scratch_x = np.zeros(n, dtype=np.uint8)
+        scratch_z = np.zeros(n, dtype=np.uint8)
+        scratch_r = 0
+        for i in range(n):
+            if combo[i]:
+                phase = 2 * scratch_r + 2 * int(self.r[n + i])
+                for j in range(n):
+                    phase += self._phase_exponent(
+                        int(self.x[n + i, j]),
+                        int(self.z[n + i, j]),
+                        int(scratch_x[j]),
+                        int(scratch_z[j]),
+                    )
+                phase %= 4
+                scratch_r = 1 if phase == 2 else 0
+                scratch_x ^= self.x[n + i]
+                scratch_z ^= self.z[n + i]
+        return scratch_r == (int(sign) & 1)
+
+    def qubit_is_zero(self, qubit: int) -> bool:
+        """Return True when ``qubit`` is exactly in ``|0>`` (and unentangled)."""
+        self._check_qubit(qubit)
+        n = self.num_qubits
+        x_bits = np.zeros(n, dtype=np.uint8)
+        z_bits = np.zeros(n, dtype=np.uint8)
+        z_bits[qubit] = 1
+        return self.contains_pauli(x_bits, z_bits, sign=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StabilizerState(num_qubits={self.num_qubits})"

@@ -1,0 +1,40 @@
+"""Utility substrates shared across the compiler.
+
+This subpackage intentionally contains only dependency-free building blocks:
+
+* :mod:`repro.utils.gf2` — dense linear algebra over the two-element field
+  GF(2), used by the entanglement/height-function computations and by the
+  stabilizer canonicalisation routines.
+* :mod:`repro.utils.misc` — small helpers (argument validation, pairing
+  utilities, deterministic RNG construction) used throughout the package.
+"""
+
+from repro.utils.gf2 import (
+    gf2_gaussian_elimination,
+    gf2_matmul,
+    gf2_nullspace,
+    gf2_rank,
+    gf2_rref,
+    gf2_solve,
+)
+from repro.utils.misc import (
+    check_non_negative,
+    check_positive,
+    make_rng,
+    pairs,
+    normalize_edge,
+)
+
+__all__ = [
+    "gf2_gaussian_elimination",
+    "gf2_matmul",
+    "gf2_nullspace",
+    "gf2_rank",
+    "gf2_rref",
+    "gf2_solve",
+    "check_non_negative",
+    "check_positive",
+    "make_rng",
+    "pairs",
+    "normalize_edge",
+]

@@ -1,0 +1,57 @@
+"""Small shared helpers: argument validation, RNG construction, iteration."""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable, Iterable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "check_non_negative",
+    "check_positive",
+    "make_rng",
+    "pairs",
+    "normalize_edge",
+]
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise :class:`ValueError` unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Raise :class:`ValueError` unless ``value`` is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Build a :class:`numpy.random.Generator` from a seed or pass one through.
+
+    Accepting either form lets every stochastic component in the package take
+    a ``seed`` argument while remaining composable (a caller holding a
+    generator can share it).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def pairs(items: Iterable[Hashable]) -> Iterator[tuple[Hashable, Hashable]]:
+    """Yield all unordered pairs of distinct elements of ``items``."""
+    return combinations(items, 2)
+
+
+def normalize_edge(u: Hashable, v: Hashable) -> tuple[Hashable, Hashable]:
+    """Return the canonical (sorted) representation of an undirected edge.
+
+    Vertices are compared by ``repr`` when direct comparison fails (mixed
+    types), so the result is deterministic for any hashable labels.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)

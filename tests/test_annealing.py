@@ -1,0 +1,96 @@
+"""Tests for the simulated-annealing engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers.annealing import simulated_annealing
+
+
+def one_max_energy(state: tuple[int, ...]) -> float:
+    """Number of zero bits (minimised at the all-ones string)."""
+    return float(len(state) - sum(state))
+
+
+def flip_one_bit(state: tuple[int, ...], rng: np.random.Generator) -> tuple[int, ...]:
+    index = int(rng.integers(0, len(state)))
+    flipped = list(state)
+    flipped[index] ^= 1
+    return tuple(flipped)
+
+
+class TestAnnealing:
+    def test_solves_one_max(self):
+        result = simulated_annealing(
+            initial_state=(0,) * 12,
+            energy=one_max_energy,
+            neighbor=flip_one_bit,
+            num_iterations=3000,
+            initial_temperature=2.0,
+            final_temperature=1e-3,
+            seed=0,
+        )
+        assert result.best_energy <= 1.0
+
+    def test_best_energy_never_exceeds_initial(self):
+        initial = (0, 1, 0, 1, 0, 1)
+        result = simulated_annealing(
+            initial_state=initial,
+            energy=one_max_energy,
+            neighbor=flip_one_bit,
+            num_iterations=200,
+            seed=3,
+        )
+        assert result.best_energy <= one_max_energy(initial)
+
+    def test_deterministic_for_seed(self):
+        kwargs = dict(
+            initial_state=(0,) * 8,
+            energy=one_max_energy,
+            neighbor=flip_one_bit,
+            num_iterations=500,
+            seed=11,
+        )
+        first = simulated_annealing(**kwargs)
+        second = simulated_annealing(**kwargs)
+        assert first.best_state == second.best_state
+        assert first.best_energy == second.best_energy
+
+    def test_bookkeeping_fields(self):
+        result = simulated_annealing(
+            initial_state=(0, 0),
+            energy=one_max_energy,
+            neighbor=flip_one_bit,
+            num_iterations=50,
+            seed=2,
+        )
+        assert result.iterations == 50
+        assert 0 <= result.accepted_moves <= 50
+        assert 0.0 <= result.acceptance_rate <= 1.0
+
+    def test_single_iteration_is_allowed(self):
+        result = simulated_annealing(
+            initial_state=(1, 1),
+            energy=one_max_energy,
+            neighbor=flip_one_bit,
+            num_iterations=1,
+            seed=0,
+        )
+        assert result.iterations == 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            simulated_annealing((0,), one_max_energy, flip_one_bit, num_iterations=0)
+        with pytest.raises(ValueError):
+            simulated_annealing(
+                (0,), one_max_energy, flip_one_bit, initial_temperature=-1.0
+            )
+        with pytest.raises(ValueError):
+            simulated_annealing(
+                (0,),
+                one_max_energy,
+                flip_one_bit,
+                initial_temperature=0.1,
+                final_temperature=1.0,
+            )

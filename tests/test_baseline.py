@@ -1,0 +1,69 @@
+"""Tests for the GraphiQ-like baseline compiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baseline.naive import BaselineCompiler
+from repro.circuit.validation import verify_circuit_generates
+from repro.graphs.generators import lattice_graph, linear_cluster, random_tree, waxman_graph
+from repro.graphs.graph_state import GraphState
+from repro.hardware.models import nv_center
+
+
+class TestBaseline:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: linear_cluster(8),
+            lambda: lattice_graph(3, 3),
+            lambda: random_tree(12, seed=4),
+            lambda: waxman_graph(10, seed=6),
+        ],
+        ids=["linear", "lattice", "tree", "waxman"],
+    )
+    def test_baseline_circuits_verify(self, graph_factory):
+        graph = graph_factory()
+        result = BaselineCompiler(verify=True).compile(graph)
+        assert result.verified is True
+        assert verify_circuit_generates(
+            result.circuit, graph, photon_of_vertex=result.sequence.photon_of_vertex
+        )
+
+    def test_result_fields(self):
+        graph = lattice_graph(3, 3)
+        result = BaselineCompiler().compile(graph)
+        assert result.num_emitter_emitter_cnots == result.metrics.num_emitter_emitter_cnots
+        assert result.duration == pytest.approx(result.schedule.makespan)
+        assert result.minimum_emitters >= 1
+        assert result.schedule.policy == "asap"
+        assert result.verified is None
+
+    def test_photon_emission_order_is_natural(self):
+        graph = linear_cluster(6)
+        result = BaselineCompiler().compile(graph)
+        assert result.sequence.emission_order() == list(range(6))
+
+    def test_emitter_limit_is_passed_through(self):
+        graph = waxman_graph(12, seed=2)
+        limited = BaselineCompiler(emitter_limit=3).compile(graph)
+        assert limited.sequence.num_emitters <= 3 + limited.sequence.emitters_over_budget
+
+    def test_twin_rule_can_be_disabled(self):
+        graph = lattice_graph(3, 3)
+        with_twin = BaselineCompiler(use_twin_rule=True).compile(graph)
+        without_twin = BaselineCompiler(use_twin_rule=False, verify=True).compile(graph)
+        assert without_twin.verified is True
+        assert (
+            without_twin.metrics.num_emitter_emitter_cnots
+            >= with_twin.metrics.num_emitter_emitter_cnots
+        )
+
+    def test_alternative_hardware(self):
+        result = BaselineCompiler(hardware=nv_center()).compile(linear_cluster(5))
+        assert result.metrics.duration > 0
+        assert BaselineCompiler(hardware=nv_center()).durations().emission == pytest.approx(0.05)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            BaselineCompiler().compile(GraphState())

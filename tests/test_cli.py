@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compile_defaults(self):
+        args = build_parser().parse_args(["compile"])
+        assert args.family == "lattice"
+        assert args.size == 20
+        assert args.emitter_factor == pytest.approx(1.5)
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig10a", "--sizes", "10", "12"])
+        assert args.figure == "fig10a"
+        assert args.sizes == [10, 12]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestExecution:
+    def test_compile_command_prints_metrics(self, capsys):
+        exit_code = main(
+            ["compile", "--family", "tree", "--size", "8", "--seed", "3", "--baseline"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "framework result:" in captured
+        assert "baseline result:" in captured
+        assert "num_emitter_emitter_cnots" in captured
+
+    def test_compile_command_with_circuit_listing(self, capsys):
+        exit_code = main(
+            ["compile", "--family", "lattice", "--size", "9", "--show-circuit"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "EMIT" in captured
+
+    def test_figure_command(self, capsys):
+        exit_code = main(["figure", "fig10b", "--sizes", "8", "10"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "fig10_cnot_tree" in captured
+        assert "reduction" in captured

@@ -1,0 +1,110 @@
+"""Tests for cut rank, height function and the minimal-emitter bound."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.entanglement import cut_rank, height_function, minimum_emitters
+from repro.graphs.generators import (
+    complete_graph,
+    lattice_graph,
+    linear_cluster,
+    star_graph,
+    waxman_graph,
+)
+from repro.graphs.graph_state import GraphState
+
+
+class TestCutRank:
+    def test_empty_subset(self):
+        graph = linear_cluster(4)
+        assert cut_rank(graph, []) == 0
+
+    def test_full_subset(self):
+        graph = linear_cluster(4)
+        assert cut_rank(graph, graph.vertices()) == 0
+
+    def test_single_vertex_of_path(self):
+        graph = linear_cluster(4)
+        assert cut_rank(graph, [0]) == 1
+
+    def test_path_middle_cut(self):
+        graph = linear_cluster(6)
+        assert cut_rank(graph, [0, 1, 2]) == 1
+
+    def test_star_any_leaf_subset(self):
+        graph = star_graph(6)
+        assert cut_rank(graph, [1, 2, 3]) == 1
+
+    def test_complete_graph_cut_rank_is_one(self):
+        # K_n adjacency across any cut has rank 1 over GF(2) (all-ones block).
+        graph = complete_graph(6)
+        assert cut_rank(graph, [0, 1, 2]) == 1
+
+    def test_lattice_column_cut(self):
+        graph = lattice_graph(3, 4)
+        first_column = [0, 4, 8]
+        assert cut_rank(graph, first_column) == 3
+
+    def test_unknown_vertex_raises(self):
+        with pytest.raises(KeyError):
+            cut_rank(linear_cluster(3), [99])
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_cut_rank_symmetry_and_bounds(self, seed):
+        graph = waxman_graph(8, seed=seed)
+        subset = graph.vertices()[:3]
+        complement = graph.vertices()[3:]
+        rank = cut_rank(graph, subset)
+        assert rank == cut_rank(graph, complement)
+        assert 0 <= rank <= min(len(subset), len(complement))
+
+
+class TestHeightFunctionAndEmitters:
+    def test_height_endpoints_are_zero(self):
+        graph = lattice_graph(2, 3)
+        heights = height_function(graph)
+        assert heights[0] == 0
+        assert heights[-1] == 0
+        assert len(heights) == graph.num_vertices + 1
+
+    def test_linear_cluster_needs_one_emitter(self):
+        assert minimum_emitters(linear_cluster(10)) == 1
+
+    def test_star_needs_one_emitter(self):
+        assert minimum_emitters(star_graph(8)) == 1
+
+    def test_lattice_needs_width_emitters(self):
+        # A rows x cols lattice emitted row by row needs `cols` emitters.
+        assert minimum_emitters(lattice_graph(3, 3)) == 3
+        assert minimum_emitters(lattice_graph(4, 5)) == 5
+
+    def test_isolated_vertices_still_need_one_emitter(self):
+        graph = GraphState(vertices=[0, 1, 2])
+        assert minimum_emitters(graph) == 1
+
+    def test_empty_graph_needs_no_emitters(self):
+        assert minimum_emitters(GraphState()) == 0
+
+    def test_ordering_changes_the_bound(self):
+        graph = lattice_graph(2, 4)
+        natural = minimum_emitters(graph)
+        # Column-major emission of a 2 x 4 lattice keeps the frontier at 2.
+        column_major = [0, 4, 1, 5, 2, 6, 3, 7]
+        assert minimum_emitters(graph, ordering=column_major) <= natural
+
+    def test_invalid_ordering_raises(self):
+        graph = linear_cluster(3)
+        with pytest.raises(ValueError):
+            height_function(graph, ordering=[0, 1])
+        with pytest.raises(ValueError):
+            height_function(graph, ordering=[0, 1, 1])
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_minimum_emitters_at_most_vertices(self, seed):
+        graph = waxman_graph(7, seed=seed)
+        assert 1 <= minimum_emitters(graph) <= graph.num_vertices

@@ -1,0 +1,110 @@
+"""Tests for the evaluation harness (comparison points, figures, reporting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.experiments import fast_config, run_comparison
+from repro.evaluation.figures import (
+    figure5_emitter_usage,
+    figure10_cnot,
+    figure10_duration,
+    figure11_lc_edges,
+    figure11_loss,
+    runtime_scaling,
+)
+from repro.evaluation.report import FigureData, render_table
+from repro.graphs.generators import lattice_graph
+
+
+class TestComparisonPoint:
+    @pytest.fixture(scope="class")
+    def point(self):
+        return run_comparison(lattice_graph(3, 3), config=fast_config())
+
+    def test_metric_accessors(self, point):
+        assert point.num_qubits == 9
+        assert point.baseline_cnots >= 0
+        assert point.ours_cnots >= 0
+        assert point.baseline_duration > 0
+        assert point.ours_duration > 0
+        assert 0 <= point.baseline_loss < 1
+        assert 0 <= point.ours_loss < 1
+
+    def test_reduction_formulas(self, point):
+        expected = 100.0 * (point.baseline_cnots - point.ours_cnots) / point.baseline_cnots
+        assert point.cnot_reduction_percent == pytest.approx(expected)
+        assert point.loss_improvement_factor == pytest.approx(
+            point.baseline_loss / point.ours_loss
+        )
+
+    def test_verified_comparison(self):
+        point = run_comparison(lattice_graph(2, 3), verify=True)
+        assert point.ours.verified is True
+        assert point.baseline.verified is True
+
+
+class TestFigureData:
+    def test_row_length_is_validated(self):
+        data = FigureData(name="x", description="d", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            data.add_row([1])
+        data.add_row([1, 2])
+        assert data.column("b") == [2]
+        with pytest.raises(KeyError):
+            data.column("c")
+
+    def test_render_table_alignment(self):
+        text = render_table(["col", "value"], [["x", 1.5], ["long-name", 2]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "col" in lines[0] and "---" in lines[1]
+
+    def test_to_text_includes_summary(self):
+        data = FigureData(name="f", description="d", columns=["a"])
+        data.add_row([1])
+        data.summary = {"metric": 1.234}
+        text = data.to_text()
+        assert "== f ==" in text
+        assert "metric: 1.234" in text
+
+
+class TestFigureSweeps:
+    def test_figure10_cnot_small_sweep(self):
+        data = figure10_cnot("lattice", sizes=(9, 12))
+        assert data.columns == [
+            "num_qubits",
+            "baseline_cnot",
+            "ours_cnot",
+            "reduction_percent",
+        ]
+        assert len(data.rows) == 2
+        assert "average_reduction_percent" in data.summary
+
+    def test_figure10_duration_small_sweep(self):
+        data = figure10_duration("tree", sizes=(10,), factors=(1.5, 2.0))
+        assert len(data.rows) == 1
+        assert "average_reduction_percent_1.5x" in data.summary
+        assert "average_reduction_percent_2.0x" in data.summary
+
+    def test_figure11_loss_small_sweep(self):
+        data = figure11_loss(families=("lattice",), sizes={"lattice": (9,)})
+        assert len(data.rows) == 1
+        assert data.rows[0][0] == "lattice"
+        assert "average_improvement_lattice" in data.summary
+
+    def test_figure11_lc_edges_small_sweep(self):
+        data = figure11_lc_edges(sizes=(10, 14))
+        assert len(data.rows) == 2
+        for row in data.rows:
+            assert row[2] <= row[1]
+
+    def test_figure5_usage(self):
+        data = figure5_emitter_usage(lattice_graph(3, 3))
+        assert set(data.column("compiler")) == {"baseline", "ours"}
+        assert data.summary["ours_peak_emitters"] >= 1
+
+    def test_runtime_scaling(self):
+        data = runtime_scaling(sizes=(8, 12))
+        assert len(data.rows) == 2
+        assert data.summary["max_ours_seconds"] > 0

@@ -1,0 +1,139 @@
+"""Tests for the benchmark graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import (
+    benchmark_graph,
+    complete_graph,
+    lattice_graph,
+    linear_cluster,
+    random_tree,
+    repeater_graph_state,
+    ring_graph,
+    star_graph,
+    tree_graph,
+    waxman_graph,
+)
+
+
+class TestLattice:
+    def test_dimensions_and_edge_count(self):
+        graph = lattice_graph(3, 4)
+        assert graph.num_vertices == 12
+        # Grid edges: rows*(cols-1) + cols*(rows-1).
+        assert graph.num_edges == 3 * 3 + 4 * 2
+
+    def test_degree_bounds(self):
+        graph = lattice_graph(4, 4)
+        degrees = [graph.degree(v) for v in graph.vertices()]
+        assert min(degrees) == 2 and max(degrees) == 4
+
+    def test_single_row_is_a_path(self):
+        graph = lattice_graph(1, 5)
+        assert graph.num_edges == 4
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            lattice_graph(0, 3)
+
+
+class TestTrees:
+    def test_complete_binary_tree(self):
+        graph = tree_graph(depth=3, branching=2)
+        assert graph.num_vertices == 15
+        assert graph.num_edges == 14
+        assert graph.is_connected()
+
+    def test_depth_zero_is_single_vertex(self):
+        graph = tree_graph(depth=0, branching=3)
+        assert graph.num_vertices == 1
+
+    def test_tree_rejects_negative_depth(self):
+        with pytest.raises(ValueError):
+            tree_graph(depth=-1, branching=2)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 25])
+    def test_random_tree_is_a_tree(self, n):
+        graph = random_tree(n, seed=5)
+        assert graph.num_vertices == n
+        assert graph.num_edges == max(0, n - 1)
+        assert graph.is_connected()
+
+    def test_random_tree_deterministic_for_seed(self):
+        assert random_tree(12, seed=9) == random_tree(12, seed=9)
+
+
+class TestWaxman:
+    def test_connectivity_enforced(self):
+        graph = waxman_graph(20, seed=1)
+        assert graph.is_connected()
+
+    def test_deterministic_for_seed(self):
+        assert waxman_graph(15, seed=3) == waxman_graph(15, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert waxman_graph(15, seed=3) != waxman_graph(15, seed=4)
+
+    def test_density_increases_with_alpha(self):
+        sparse = waxman_graph(25, alpha=0.2, beta=0.2, seed=7, ensure_connected=False)
+        dense = waxman_graph(25, alpha=0.9, beta=0.5, seed=7, ensure_connected=False)
+        assert dense.num_edges >= sparse.num_edges
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            waxman_graph(10, alpha=0.0)
+        with pytest.raises(ValueError):
+            waxman_graph(10, beta=1.5)
+        with pytest.raises(ValueError):
+            waxman_graph(0)
+
+
+class TestSimpleFamilies:
+    def test_linear_cluster(self):
+        graph = linear_cluster(6)
+        assert graph.num_edges == 5
+        assert max(graph.degree(v) for v in graph.vertices()) == 2
+
+    def test_ring(self):
+        graph = ring_graph(5)
+        assert graph.num_edges == 5
+        assert all(graph.degree(v) == 2 for v in graph.vertices())
+        with pytest.raises(ValueError):
+            ring_graph(2)
+
+    def test_star(self):
+        graph = star_graph(6)
+        assert graph.degree(0) == 5
+        assert graph.num_edges == 5
+
+    def test_complete(self):
+        graph = complete_graph(5)
+        assert graph.num_edges == 10
+
+    def test_repeater_graph_state(self):
+        graph = repeater_graph_state(4)
+        assert graph.num_vertices == 8
+        # Inner clique (6 edges) plus 4 arms.
+        assert graph.num_edges == 6 + 4
+        inner_degrees = [graph.degree(v) for v in range(4)]
+        outer_degrees = [graph.degree(v) for v in range(4, 8)]
+        assert all(d == 4 for d in inner_degrees)
+        assert all(d == 1 for d in outer_degrees)
+
+
+class TestBenchmarkDispatch:
+    @pytest.mark.parametrize("family", ["lattice", "tree", "random"])
+    def test_families_dispatch(self, family):
+        graph = benchmark_graph(family, 16, seed=2)
+        assert graph.num_vertices >= 12
+        assert graph.is_connected()
+
+    def test_lattice_size_is_rounded(self):
+        graph = benchmark_graph("lattice", 20, seed=0)
+        assert 16 <= graph.num_vertices <= 20
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ValueError):
+            benchmark_graph("hypercube", 10)

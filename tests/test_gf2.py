@@ -1,0 +1,140 @@
+"""Unit and property tests for the GF(2) linear algebra substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.utils.gf2 import (
+    gf2_gaussian_elimination,
+    gf2_matmul,
+    gf2_nullspace,
+    gf2_rank,
+    gf2_rref,
+    gf2_solve,
+)
+
+binary_matrices = arrays(
+    dtype=np.uint8,
+    shape=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+    elements=st.integers(0, 1),
+)
+
+
+class TestRank:
+    def test_zero_matrix_has_rank_zero(self):
+        assert gf2_rank(np.zeros((3, 4), dtype=int)) == 0
+
+    def test_identity_has_full_rank(self):
+        assert gf2_rank(np.eye(5, dtype=int)) == 5
+
+    def test_duplicate_rows_do_not_increase_rank(self):
+        matrix = np.array([[1, 0, 1], [1, 0, 1], [0, 1, 0]])
+        assert gf2_rank(matrix) == 2
+
+    def test_rank_is_mod_two(self):
+        # Over the integers this matrix has rank 2; over GF(2) the rows sum to zero.
+        matrix = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]])
+        assert gf2_rank(matrix) == 2
+
+    def test_empty_matrix(self):
+        assert gf2_rank(np.zeros((0, 0), dtype=int)) == 0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            gf2_rank(np.zeros(3, dtype=int))
+
+    @given(binary_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_rank_bounded_by_dimensions(self, matrix):
+        rank = gf2_rank(matrix)
+        assert 0 <= rank <= min(matrix.shape)
+
+    @given(binary_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_rank_invariant_under_transpose(self, matrix):
+        assert gf2_rank(matrix) == gf2_rank(matrix.T)
+
+
+class TestEliminationAndRref:
+    def test_echelon_pivots_match_rank(self):
+        matrix = np.array([[1, 1, 0, 1], [1, 0, 1, 0], [0, 1, 1, 1]])
+        echelon, pivots = gf2_gaussian_elimination(matrix)
+        assert len(pivots) == gf2_rank(matrix)
+        assert echelon.shape == matrix.shape
+
+    def test_rref_is_idempotent(self):
+        matrix = np.array([[1, 1, 0], [1, 0, 1], [0, 1, 1]])
+        reduced, _ = gf2_rref(matrix)
+        reduced_again, _ = gf2_rref(reduced)
+        assert np.array_equal(reduced, reduced_again)
+
+    def test_rref_clears_above_pivots(self):
+        matrix = np.array([[1, 1, 1], [0, 1, 1]])
+        reduced, pivots = gf2_rref(matrix)
+        for row_index, col in enumerate(pivots):
+            column = reduced[:, col]
+            assert column.sum() == 1 and column[row_index] == 1
+
+
+class TestSolve:
+    def test_solves_consistent_system(self):
+        matrix = np.array([[1, 1, 0], [0, 1, 1]])
+        rhs = np.array([1, 0])
+        solution = gf2_solve(matrix, rhs)
+        assert solution is not None
+        assert np.array_equal((matrix @ solution) % 2, rhs)
+
+    def test_detects_inconsistent_system(self):
+        matrix = np.array([[1, 1], [1, 1]])
+        rhs = np.array([0, 1])
+        assert gf2_solve(matrix, rhs) is None
+
+    def test_rejects_mismatched_rhs(self):
+        with pytest.raises(ValueError):
+            gf2_solve(np.eye(2, dtype=int), np.array([1, 0, 1]))
+
+    @given(binary_matrices, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_solution_of_reachable_rhs_is_valid(self, matrix, data):
+        x = data.draw(
+            arrays(np.uint8, shape=matrix.shape[1], elements=st.integers(0, 1))
+        )
+        rhs = (matrix.astype(int) @ x) % 2
+        solution = gf2_solve(matrix, rhs)
+        assert solution is not None
+        assert np.array_equal((matrix.astype(int) @ solution) % 2, rhs)
+
+
+class TestNullspaceAndMatmul:
+    def test_nullspace_vectors_annihilate(self):
+        matrix = np.array([[1, 1, 0], [0, 1, 1]])
+        basis = gf2_nullspace(matrix)
+        for vector in basis:
+            assert np.all((matrix @ vector) % 2 == 0)
+
+    def test_nullspace_dimension(self):
+        matrix = np.array([[1, 1, 0], [0, 1, 1]])
+        basis = gf2_nullspace(matrix)
+        assert basis.shape[0] == matrix.shape[1] - gf2_rank(matrix)
+
+    def test_full_rank_square_matrix_has_trivial_nullspace(self):
+        assert gf2_nullspace(np.eye(4, dtype=int)).shape == (0, 4)
+
+    def test_matmul_reduces_mod_two(self):
+        a = np.array([[1, 1], [0, 1]])
+        b = np.array([[1, 0], [1, 1]])
+        product = gf2_matmul(a, b)
+        assert product.tolist() == [[0, 1], [1, 1]]
+
+    def test_matmul_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            gf2_matmul(np.eye(2, dtype=int), np.eye(3, dtype=int))
+
+    @given(binary_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_rank_nullity_theorem(self, matrix):
+        assert gf2_rank(matrix) + gf2_nullspace(matrix).shape[0] == matrix.shape[1]

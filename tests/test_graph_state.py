@@ -1,0 +1,160 @@
+"""Tests for the GraphState container."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.graph_state import GraphState
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = GraphState()
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert graph.is_connected()
+
+    def test_vertices_and_edges(self):
+        graph = GraphState(vertices=[0, 1, 2], edges=[(0, 1), (1, 2)])
+        assert set(graph.vertices()) == {0, 1, 2}
+        assert set(graph.edges()) == {(0, 1), (1, 2)}
+
+    def test_from_networkx(self):
+        nx_graph = nx.cycle_graph(4)
+        graph = GraphState.from_networkx(nx_graph)
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 4
+
+    def test_from_networkx_rejects_self_loops(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(0, 0)
+        with pytest.raises(ValueError):
+            GraphState.from_networkx(nx_graph)
+
+    def test_self_loop_rejected(self):
+        graph = GraphState(vertices=[0])
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 0)
+
+    def test_copy_is_deep(self):
+        graph = GraphState(vertices=[0, 1], edges=[(0, 1)])
+        clone = graph.copy()
+        clone.remove_edge(0, 1)
+        assert graph.has_edge(0, 1)
+        assert not clone.has_edge(0, 1)
+
+    def test_equality_and_hash(self):
+        a = GraphState(vertices=[0, 1], edges=[(0, 1)])
+        b = GraphState(vertices=[1, 0], edges=[(1, 0)])
+        assert a == b
+        assert (a == "not a graph") is NotImplemented or not (a == "not a graph")
+        with pytest.raises(TypeError):
+            hash(a)
+
+
+class TestMutation:
+    def test_toggle_edge(self):
+        graph = GraphState(vertices=[0, 1])
+        graph.toggle_edge(0, 1)
+        assert graph.has_edge(0, 1)
+        graph.toggle_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+
+    def test_remove_vertex_removes_incident_edges(self):
+        graph = GraphState(vertices=[0, 1, 2], edges=[(0, 1), (1, 2)])
+        graph.remove_vertex(1)
+        assert graph.num_edges == 0
+        assert set(graph.vertices()) == {0, 2}
+
+    def test_remove_missing_edge_raises(self):
+        graph = GraphState(vertices=[0, 1])
+        with pytest.raises(KeyError):
+            graph.remove_edge(0, 1)
+
+    def test_remove_missing_vertex_raises(self):
+        graph = GraphState(vertices=[0])
+        with pytest.raises(KeyError):
+            graph.remove_vertex(5)
+
+    def test_neighbors_and_degree(self):
+        graph = GraphState(vertices=[0, 1, 2], edges=[(0, 1), (0, 2)])
+        assert graph.neighbors(0) == {1, 2}
+        assert graph.degree(0) == 2
+        assert graph.degree(1) == 1
+        with pytest.raises(KeyError):
+            graph.neighbors(9)
+
+    def test_local_complement_triangle(self):
+        # Complementing the centre of a path creates the triangle and back.
+        graph = GraphState(vertices=[0, 1, 2], edges=[(0, 1), (1, 2)])
+        graph.local_complement(1)
+        assert graph.has_edge(0, 2)
+        graph.local_complement(1)
+        assert not graph.has_edge(0, 2)
+
+
+class TestDerivedStructures:
+    def test_induced_subgraph(self):
+        graph = GraphState(vertices=range(4), edges=[(0, 1), (1, 2), (2, 3)])
+        sub = graph.induced_subgraph([0, 1, 2])
+        assert set(sub.vertices()) == {0, 1, 2}
+        assert set(sub.edges()) == {(0, 1), (1, 2)}
+
+    def test_induced_subgraph_missing_vertex_raises(self):
+        graph = GraphState(vertices=[0, 1])
+        with pytest.raises(KeyError):
+            graph.induced_subgraph([0, 7])
+
+    def test_cut_edges(self):
+        graph = GraphState(vertices=range(4), edges=[(0, 1), (1, 2), (2, 3)])
+        cut = graph.cut_edges([[0, 1], [2, 3]])
+        assert cut == [(1, 2)]
+
+    def test_cut_edges_rejects_duplicated_vertex(self):
+        graph = GraphState(vertices=range(3), edges=[(0, 1)])
+        with pytest.raises(ValueError):
+            graph.cut_edges([[0, 1], [1, 2]])
+
+    def test_cut_edges_uncovered_vertices_are_singletons(self):
+        graph = GraphState(vertices=range(3), edges=[(0, 1), (1, 2)])
+        cut = graph.cut_edges([[0, 1]])
+        assert cut == [(1, 2)]
+
+    def test_relabeled(self):
+        graph = GraphState(vertices=["a", "b", "c"], edges=[("a", "c")])
+        relabelled, mapping = graph.relabeled()
+        assert set(relabelled.vertices()) == {0, 1, 2}
+        assert relabelled.has_edge(mapping["a"], mapping["c"])
+
+    def test_adjacency_matrix(self):
+        graph = GraphState(vertices=[0, 1, 2], edges=[(0, 2)])
+        matrix = graph.adjacency_matrix(order=[0, 1, 2])
+        assert matrix[0, 2] == 1 and matrix[2, 0] == 1
+        assert matrix[0, 1] == 0
+        assert matrix.trace() == 0
+
+    def test_adjacency_matrix_rejects_duplicates(self):
+        graph = GraphState(vertices=[0, 1])
+        with pytest.raises(ValueError):
+            graph.adjacency_matrix(order=[0, 0])
+
+    def test_to_stabilizer_state(self):
+        graph = GraphState(vertices=[0, 1], edges=[(0, 1)])
+        state = graph.to_stabilizer_state()
+        assert state.num_qubits == 2
+
+    def test_to_stabilizer_state_empty_raises(self):
+        with pytest.raises(ValueError):
+            GraphState().to_stabilizer_state()
+
+    def test_connected_components(self):
+        graph = GraphState(vertices=range(4), edges=[(0, 1), (2, 3)])
+        components = graph.connected_components()
+        assert sorted(sorted(c) for c in components) == [[0, 1], [2, 3]]
+        assert not graph.is_connected()
+
+    def test_iteration_and_len(self):
+        graph = GraphState(vertices=[3, 1, 2])
+        assert len(graph) == 3
+        assert set(iter(graph)) == {1, 2, 3}

@@ -1,0 +1,108 @@
+"""Tests for the hardware platform presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.timing import GateDurations
+from repro.hardware.loss import PhotonLossModel
+from repro.hardware.models import (
+    HardwareModel,
+    get_hardware_model,
+    nv_center,
+    quantum_dot,
+    rydberg_atom,
+    siv_center,
+)
+
+
+class TestPresets:
+    @pytest.mark.parametrize(
+        "factory", [quantum_dot, nv_center, siv_center, rydberg_atom]
+    )
+    def test_presets_are_valid(self, factory):
+        model = factory()
+        assert isinstance(model, HardwareModel)
+        assert model.durations.emitter_emitter_gate == pytest.approx(1.0)
+        assert 0 < model.durations.emission < 1
+        assert 0 <= model.photon_loss_per_tau < 1
+
+    def test_quantum_dot_matches_paper_numbers(self):
+        model = quantum_dot()
+        assert model.tau_seconds == pytest.approx(1e-9)
+        assert model.durations.emission == pytest.approx(0.1)
+        assert model.photon_loss_per_tau == pytest.approx(0.005)
+        assert model.emitter_emitter_fidelity >= 0.99
+
+    def test_quantum_dot_exchange_strength_scales_tau(self):
+        fast = quantum_dot(exchange_strength_ghz=2.0)
+        assert fast.tau_seconds == pytest.approx(0.5e-9)
+        with pytest.raises(ValueError):
+            quantum_dot(exchange_strength_ghz=0)
+
+    def test_loss_model_construction(self):
+        model = quantum_dot()
+        loss = model.loss_model()
+        assert isinstance(loss, PhotonLossModel)
+        assert loss.loss_per_tau == model.photon_loss_per_tau
+
+    def test_fidelity_estimate(self):
+        model = quantum_dot()
+        assert model.circuit_fidelity_estimate(0) == pytest.approx(1.0)
+        assert model.circuit_fidelity_estimate(10) == pytest.approx(0.99 ** 10)
+        with pytest.raises(ValueError):
+            model.circuit_fidelity_estimate(-1)
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("quantum_dot", "quantum_dot"),
+            ("QD", "quantum_dot"),
+            ("nv", "nv_center"),
+            ("SiV", "siv_center"),
+            ("rydberg", "rydberg_atom"),
+        ],
+    )
+    def test_lookup_by_name(self, name, expected):
+        assert get_hardware_model(name).name == expected
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown hardware model"):
+            get_hardware_model("trapped_ion")
+
+
+class TestValidation:
+    def test_invalid_loss_rate(self):
+        with pytest.raises(ValueError):
+            HardwareModel(
+                name="bad",
+                durations=GateDurations(),
+                tau_seconds=1e-9,
+                photon_loss_per_tau=1.5,
+                emitter_coherence_time=1.0,
+                emitter_emitter_fidelity=0.99,
+            )
+
+    def test_invalid_fidelity(self):
+        with pytest.raises(ValueError):
+            HardwareModel(
+                name="bad",
+                durations=GateDurations(),
+                tau_seconds=1e-9,
+                photon_loss_per_tau=0.01,
+                emitter_coherence_time=1.0,
+                emitter_emitter_fidelity=1.2,
+            )
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            HardwareModel(
+                name="bad",
+                durations=GateDurations(),
+                tau_seconds=0.0,
+                photon_loss_per_tau=0.01,
+                emitter_coherence_time=1.0,
+                emitter_emitter_fidelity=0.9,
+            )

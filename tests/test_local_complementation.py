@@ -1,0 +1,133 @@
+"""Tests for local complementation and its circuit-level realisation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import complete_graph, lattice_graph, waxman_graph
+from repro.graphs.graph_state import GraphState
+from repro.graphs.local_complementation import (
+    LCOperation,
+    apply_lc_sequence,
+    greedy_lc_for_objective,
+    lc_correction_gates,
+    local_complement,
+    minimize_edges_by_lc,
+)
+from repro.stabilizer.canonical import states_equal
+from repro.stabilizer.tableau import StabilizerState
+
+
+def graph_tableau(graph: GraphState, order):
+    index = {v: i for i, v in enumerate(order)}
+    edges = [(index[u], index[v]) for u, v in graph.edges()]
+    return StabilizerState.from_graph_edges(len(order), edges)
+
+
+def apply_named_gates(state: StabilizerState, gates, index):
+    for name, vertex in gates:
+        wire = index[vertex]
+        if name == "SQRT_X":
+            state.sqrt_x(wire)
+        elif name == "SQRT_X_DAG":
+            state.sqrt_x_dag(wire)
+        elif name == "S":
+            state.s(wire)
+        elif name == "SDG":
+            state.sdg(wire)
+        else:  # pragma: no cover - unexpected gate name
+            raise AssertionError(name)
+
+
+class TestGraphRule:
+    def test_lc_is_an_involution(self):
+        graph = waxman_graph(8, seed=1)
+        for vertex in graph.vertices():
+            twice, _ = apply_lc_sequence(graph, [vertex, vertex])
+            assert twice == graph
+
+    def test_lc_does_not_touch_incident_edges(self):
+        graph = lattice_graph(2, 3)
+        for vertex in graph.vertices():
+            before = graph.neighbors(vertex)
+            after, _ = local_complement(graph, vertex)
+            assert after.neighbors(vertex) == before
+
+    def test_lc_on_star_center_gives_complete_graph(self):
+        star = GraphState(vertices=range(4), edges=[(0, 1), (0, 2), (0, 3)])
+        transformed, _ = local_complement(star, 0)
+        assert transformed.num_edges == 6
+
+    def test_operation_records_neighborhood(self):
+        graph = lattice_graph(2, 2)
+        _, op = local_complement(graph, 0)
+        assert isinstance(op, LCOperation)
+        assert set(op.neighborhood) == graph.neighbors(0)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_lc_preserves_vertex_set(self, seed):
+        graph = waxman_graph(7, seed=seed)
+        vertex = graph.vertices()[seed % graph.num_vertices]
+        transformed, _ = local_complement(graph, vertex)
+        assert set(transformed.vertices()) == set(graph.vertices())
+
+
+class TestUnitaryRealisation:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_forward_gates_realise_lc_on_the_state(self, seed):
+        graph = waxman_graph(6, seed=seed)
+        order = graph.vertices()
+        index = {v: i for i, v in enumerate(order)}
+        for vertex in order:
+            if graph.degree(vertex) < 2:
+                continue
+            transformed, op = local_complement(graph, vertex)
+            state = graph_tableau(graph, order)
+            apply_named_gates(state, lc_correction_gates([op]), index)
+            assert states_equal(state, graph_tableau(transformed, order))
+
+    @pytest.mark.parametrize("seed", [4, 5, 6])
+    def test_inverse_gates_undo_an_lc_sequence(self, seed):
+        graph = waxman_graph(6, seed=seed)
+        order = graph.vertices()
+        index = {v: i for i, v in enumerate(order)}
+        vertices = [v for v in order if graph.degree(v) >= 2][:3]
+        transformed, ops = apply_lc_sequence(graph, vertices)
+        state = graph_tableau(transformed, order)
+        apply_named_gates(state, lc_correction_gates(ops, inverse=True), index)
+        assert states_equal(state, graph_tableau(graph, order))
+
+
+class TestSearch:
+    def test_complete_graph_reduces_to_star(self):
+        graph = complete_graph(5)
+        optimised, ops = minimize_edges_by_lc(graph, max_operations=5)
+        assert optimised.num_edges == 4
+        assert len(ops) >= 1
+
+    def test_budget_zero_is_a_no_op(self):
+        graph = complete_graph(4)
+        optimised, ops = minimize_edges_by_lc(graph, max_operations=0)
+        assert optimised == graph
+        assert ops == []
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            minimize_edges_by_lc(complete_graph(3), max_operations=-1)
+
+    def test_search_never_increases_objective(self):
+        graph = waxman_graph(10, seed=3)
+        optimised, _ = minimize_edges_by_lc(graph, max_operations=10)
+        assert optimised.num_edges <= graph.num_edges
+
+    def test_custom_objective(self):
+        graph = complete_graph(4)
+        optimised, _ = greedy_lc_for_objective(
+            graph, 5, objective=lambda g: max(g.degree(v) for v in g.vertices())
+        )
+        assert max(optimised.degree(v) for v in optimised.vertices()) <= max(
+            graph.degree(v) for v in graph.vertices()
+        )

@@ -1,0 +1,111 @@
+"""Tests for circuit metrics and the photon-loss model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import GateName, photon
+from repro.circuit.metrics import compute_metrics
+from repro.hardware.loss import PhotonLossModel
+
+
+def sample_circuit() -> Circuit:
+    circuit = Circuit(num_emitters=2, num_photons=2)
+    circuit.add_cz(0, 1)
+    circuit.add_emission(0, 0)
+    circuit.add_single(GateName.H, photon(0))
+    circuit.add_emission(1, 1)
+    circuit.add_measure(0)
+    return circuit
+
+
+class TestMetrics:
+    def test_counts(self):
+        metrics = compute_metrics(sample_circuit())
+        assert metrics.num_emitter_emitter_cnots == 1
+        assert metrics.num_emissions == 2
+        assert metrics.num_single_qubit_gates == 1
+        assert metrics.num_measurements == 1
+        assert metrics.num_gates == 5
+        assert metrics.num_photons == 2
+        assert metrics.num_emitters == 2
+
+    def test_duration_and_exposure_consistency(self):
+        metrics = compute_metrics(sample_circuit())
+        assert metrics.duration > 0
+        assert metrics.total_photon_exposure >= metrics.average_photon_loss_duration
+
+    def test_loss_fields_require_model(self):
+        metrics = compute_metrics(sample_circuit())
+        assert metrics.photon_loss_probability is None
+        with_loss = compute_metrics(sample_circuit(), loss_model=PhotonLossModel(0.01))
+        assert 0 <= with_loss.photon_loss_probability < 1
+        assert with_loss.photon_survival_probability == pytest.approx(
+            1 - with_loss.photon_loss_probability
+        )
+
+    def test_as_dict_round_trip(self):
+        metrics = compute_metrics(sample_circuit(), loss_model=PhotonLossModel(0.005))
+        data = metrics.as_dict()
+        assert data["num_emitter_emitter_cnots"] == 1
+        assert set(data) >= {
+            "duration",
+            "average_photon_loss_duration",
+            "max_emitters_in_use",
+            "photon_loss_probability",
+        }
+
+
+class TestPhotonLossModel:
+    def test_zero_rate_never_loses(self):
+        model = PhotonLossModel(0.0)
+        assert model.survival_probability(100.0) == 1.0
+        assert model.state_loss_probability({0: 5.0, 1: 9.0}) == 0.0
+
+    def test_survival_decreases_with_time(self):
+        model = PhotonLossModel(0.01)
+        assert model.survival_probability(10) < model.survival_probability(1)
+
+    def test_loss_plus_survival_is_one(self):
+        model = PhotonLossModel(0.02)
+        assert model.loss_probability(7) + model.survival_probability(7) == pytest.approx(1.0)
+
+    def test_state_survival_is_product(self):
+        model = PhotonLossModel(0.05)
+        exposures = {0: 1.0, 1: 2.0, 2: 3.0}
+        expected = 1.0
+        for t in exposures.values():
+            expected *= model.survival_probability(t)
+        assert model.state_survival_probability(exposures) == pytest.approx(expected)
+
+    def test_expected_lost_photons(self):
+        model = PhotonLossModel(0.5)
+        exposures = {0: 1.0, 1: 1.0}
+        assert model.expected_lost_photons(exposures) == pytest.approx(1.0)
+
+    def test_monte_carlo_matches_analytic(self):
+        model = PhotonLossModel(0.05)
+        exposures = {0: 5.0, 1: 10.0, 2: 2.0}
+        analytic = model.state_loss_probability(exposures)
+        estimate = model.monte_carlo_state_loss(exposures, num_samples=20000, seed=1)
+        assert estimate == pytest.approx(analytic, abs=0.02)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PhotonLossModel(1.0)
+        with pytest.raises(ValueError):
+            PhotonLossModel(-0.1)
+        model = PhotonLossModel(0.01)
+        with pytest.raises(ValueError):
+            model.survival_probability(-1)
+        with pytest.raises(ValueError):
+            model.monte_carlo_state_loss({0: 1.0}, num_samples=0)
+        with pytest.raises(ValueError):
+            model.effective_rate_per_second(0.0)
+
+    def test_effective_rate(self):
+        model = PhotonLossModel(0.005)
+        rate = model.effective_rate_per_second(1e-9)
+        assert rate > 0
+        assert PhotonLossModel(0.0).effective_rate_per_second(1e-9) == 0.0

@@ -1,0 +1,114 @@
+"""Tests for the 0-1 ILP model builder and branch-and-bound solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.solvers.mip import (
+    BinaryLinearProgram,
+    LinearConstraint,
+    MIPStatus,
+    solve_binary_program,
+)
+
+
+class TestModelBuilding:
+    def test_variables_are_deduplicated(self):
+        program = BinaryLinearProgram()
+        program.add_variable("x")
+        program.add_variable("x", objective_coefficient=2.0)
+        assert program.num_variables == 1
+        assert program.objective_value({"x": 1}) == pytest.approx(2.0)
+
+    def test_constraint_declares_unknown_variables(self):
+        program = BinaryLinearProgram()
+        program.add_constraint({"a": 1.0, "b": 1.0}, "<=", 1.0)
+        assert set(program.variables) == {"a", "b"}
+
+    def test_invalid_sense_rejected(self):
+        with pytest.raises(ValueError):
+            LinearConstraint({"x": 1.0}, "<", 1.0)
+
+    def test_empty_constraint_rejected(self):
+        with pytest.raises(ValueError):
+            LinearConstraint({}, "<=", 1.0)
+
+    def test_feasibility_check(self):
+        program = BinaryLinearProgram()
+        program.add_constraint({"x": 1.0, "y": 1.0}, "==", 1.0)
+        assert program.is_feasible({"x": 1, "y": 0})
+        assert not program.is_feasible({"x": 1, "y": 1})
+
+
+class TestSolver:
+    def test_unconstrained_minimisation_picks_negative_coefficients(self):
+        program = BinaryLinearProgram()
+        program.add_variable("a", objective_coefficient=-2.0)
+        program.add_variable("b", objective_coefficient=3.0)
+        solution = solve_binary_program(program)
+        assert solution.is_optimal
+        assert solution.assignment == {"a": 1, "b": 0}
+        assert solution.objective == pytest.approx(-2.0)
+
+    def test_cover_constraint(self):
+        # Minimise a + b + c subject to covering both "items".
+        program = BinaryLinearProgram()
+        for name in "abc":
+            program.add_variable(name, objective_coefficient=1.0)
+        program.add_constraint({"a": 1.0, "b": 1.0}, ">=", 1.0)
+        program.add_constraint({"b": 1.0, "c": 1.0}, ">=", 1.0)
+        solution = solve_binary_program(program)
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(1.0)
+        assert solution.assignment["b"] == 1
+
+    def test_equality_constraints(self):
+        program = BinaryLinearProgram()
+        for name in "xyz":
+            program.add_variable(name, objective_coefficient=1.0)
+        program.add_constraint({"x": 1.0, "y": 1.0, "z": 1.0}, "==", 2.0)
+        solution = solve_binary_program(program)
+        assert solution.is_optimal
+        assert sum(solution.assignment.values()) == 2
+
+    def test_knapsack_style_problem(self):
+        # Maximise value (= minimise negative value) under a weight cap.
+        values = {"a": 6, "b": 5, "c": 4}
+        weights = {"a": 5, "b": 3, "c": 3}
+        program = BinaryLinearProgram()
+        for name, value in values.items():
+            program.add_variable(name, objective_coefficient=-float(value))
+        program.add_constraint({n: float(w) for n, w in weights.items()}, "<=", 6.0)
+        solution = solve_binary_program(program)
+        assert solution.is_optimal
+        # Best choice is b + c (value 9, weight 6).
+        assert solution.assignment == {"a": 0, "b": 1, "c": 1}
+
+    def test_infeasible_problem(self):
+        program = BinaryLinearProgram()
+        program.add_variable("x")
+        program.add_constraint({"x": 1.0}, ">=", 2.0)
+        solution = solve_binary_program(program)
+        assert solution.status is MIPStatus.INFEASIBLE
+        assert solution.objective is None
+
+    def test_objective_constant_is_included(self):
+        program = BinaryLinearProgram()
+        program.add_variable("x", objective_coefficient=1.0)
+        program.add_objective_constant(10.0)
+        solution = solve_binary_program(program)
+        assert solution.objective == pytest.approx(10.0)
+
+    def test_node_budget_returns_feasible_solution(self):
+        program = BinaryLinearProgram()
+        for i in range(12):
+            program.add_variable(f"x{i}", objective_coefficient=1.0)
+        program.add_constraint({f"x{i}": 1.0 for i in range(12)}, ">=", 6.0)
+        solution = solve_binary_program(program, max_nodes=10)
+        assert solution.status in (MIPStatus.FEASIBLE, MIPStatus.OPTIMAL, MIPStatus.INFEASIBLE)
+
+    def test_nodes_explored_is_reported(self):
+        program = BinaryLinearProgram()
+        program.add_variable("x", objective_coefficient=-1.0)
+        solution = solve_binary_program(program)
+        assert solution.nodes_explored >= 1

@@ -1,0 +1,61 @@
+"""Tests for the small shared helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.misc import (
+    check_non_negative,
+    check_positive,
+    make_rng,
+    normalize_edge,
+    pairs,
+)
+
+
+class TestValidation:
+    def test_check_positive_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.5)
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_check_positive_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", value)
+
+    def test_check_non_negative_accepts_zero(self):
+        check_non_negative("y", 0)
+
+    def test_check_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError, match="y"):
+            check_non_negative("y", -3)
+
+
+class TestRng:
+    def test_seed_gives_reproducible_stream(self):
+        assert make_rng(3).random() == make_rng(3).random()
+
+    def test_generator_is_passed_through(self):
+        generator = np.random.default_rng(0)
+        assert make_rng(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestPairsAndEdges:
+    def test_pairs_enumerates_unordered_pairs(self):
+        assert list(pairs([1, 2, 3])) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_pairs_of_single_element_is_empty(self):
+        assert list(pairs([7])) == []
+
+    def test_normalize_edge_orders_comparable_labels(self):
+        assert normalize_edge(3, 1) == (1, 3)
+        assert normalize_edge(1, 3) == (1, 3)
+
+    def test_normalize_edge_handles_mixed_types(self):
+        edge_a = normalize_edge("a", 1)
+        edge_b = normalize_edge(1, "a")
+        assert edge_a == edge_b

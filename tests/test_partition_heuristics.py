@@ -1,0 +1,91 @@
+"""Tests for the partition heuristics (greedy growth and Kernighan–Lin)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import lattice_graph, linear_cluster, waxman_graph
+from repro.solvers.partition_heuristics import (
+    balanced_greedy_partition,
+    cut_size,
+    kernighan_lin_refinement,
+    partition_blocks_valid,
+)
+
+
+class TestGreedyPartition:
+    def test_blocks_cover_all_vertices(self):
+        graph = lattice_graph(4, 4)
+        blocks = balanced_greedy_partition(graph, max_block_size=5)
+        assert partition_blocks_valid(graph, blocks, max_block_size=5)
+
+    def test_block_size_respected(self):
+        graph = waxman_graph(20, seed=1)
+        blocks = balanced_greedy_partition(graph, max_block_size=7)
+        assert all(1 <= len(b) <= 7 for b in blocks)
+
+    def test_path_partition_is_cheap(self):
+        # A 12-vertex path split into blocks of <= 4 has an optimal cut of 2;
+        # the greedy growth stays within a couple of extra cut edges.
+        graph = linear_cluster(12)
+        blocks = balanced_greedy_partition(graph, max_block_size=4)
+        assert cut_size(graph, blocks) <= 4
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            balanced_greedy_partition(linear_cluster(3), max_block_size=0)
+
+    def test_single_block_when_size_allows(self):
+        graph = linear_cluster(5)
+        blocks = balanced_greedy_partition(graph, max_block_size=10)
+        assert len(blocks) == 1
+
+
+class TestCutSize:
+    def test_known_cut(self):
+        graph = linear_cluster(6)
+        assert cut_size(graph, [[0, 1, 2], [3, 4, 5]]) == 1
+
+    def test_cut_of_single_block_is_zero(self):
+        graph = lattice_graph(3, 3)
+        assert cut_size(graph, [graph.vertices()]) == 0
+
+    def test_validity_helper(self):
+        graph = linear_cluster(4)
+        assert not partition_blocks_valid(graph, [[0, 1], [2]], max_block_size=2)
+        assert not partition_blocks_valid(graph, [[0, 1], [2, 3, 3]], max_block_size=5)
+        assert not partition_blocks_valid(graph, [[0, 1, 2, 3]], max_block_size=3)
+        assert partition_blocks_valid(graph, [[0, 1], [2, 3]], max_block_size=2)
+
+
+class TestKernighanLin:
+    def test_refinement_never_increases_the_cut(self):
+        graph = waxman_graph(18, seed=4)
+        blocks = balanced_greedy_partition(graph, max_block_size=6)
+        refined = kernighan_lin_refinement(graph, blocks, max_block_size=6)
+        assert cut_size(graph, refined) <= cut_size(graph, blocks)
+        assert partition_blocks_valid(graph, refined, max_block_size=6)
+
+    def test_refinement_fixes_a_bad_partition(self):
+        # Path 0-1-2-3-4-5 split badly across blocks.
+        graph = linear_cluster(6)
+        bad_blocks = [[0, 2, 4], [1, 3, 5]]
+        refined = kernighan_lin_refinement(graph, bad_blocks, max_block_size=3)
+        assert cut_size(graph, refined) < cut_size(graph, bad_blocks)
+
+    def test_rejects_invalid_initial_blocks(self):
+        graph = linear_cluster(4)
+        with pytest.raises(ValueError):
+            kernighan_lin_refinement(graph, [[0, 1]], max_block_size=2)
+        with pytest.raises(ValueError):
+            kernighan_lin_refinement(graph, [[0, 1], [2, 3]], max_block_size=0)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_property_refinement_preserves_validity(self, seed):
+        graph = waxman_graph(12, seed=seed)
+        blocks = balanced_greedy_partition(graph, max_block_size=5)
+        refined = kernighan_lin_refinement(graph, blocks, max_block_size=5)
+        assert partition_blocks_valid(graph, refined, max_block_size=5)

@@ -1,0 +1,108 @@
+"""Cross-module property-based tests (hypothesis).
+
+These tie the substrates together: random graphs are generated, pushed
+through both compilers, and the invariants that must hold for *any* input are
+checked — exact state generation, structural circuit constraints, metric
+consistency and LC-equivalence bookkeeping.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baseline.naive import BaselineCompiler
+from repro.circuit.validation import validate_circuit_constraints, verify_circuit_generates
+from repro.core.compiler import EmitterCompiler
+from repro.core.config import CompilerConfig
+from repro.graphs.entanglement import cut_rank, minimum_emitters
+from repro.graphs.graph_state import GraphState
+from repro.graphs.local_complementation import apply_lc_sequence
+
+graph_inputs = st.tuples(
+    st.integers(min_value=2, max_value=7),   # number of vertices
+    st.floats(min_value=0.2, max_value=0.8),  # edge probability
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+def build_graph(params) -> GraphState:
+    n, p, seed = params
+    return GraphState.from_networkx(nx.gnp_random_graph(n, p, seed=seed))
+
+
+def tiny_config() -> CompilerConfig:
+    return CompilerConfig(
+        max_order_candidates=12, exhaustive_order_threshold=4, lc_budget=4
+    )
+
+
+class TestCompilerProperties:
+    @given(graph_inputs)
+    @settings(max_examples=30, deadline=None)
+    def test_framework_generates_every_random_graph_state(self, params):
+        graph = build_graph(params)
+        result = EmitterCompiler(tiny_config()).compile(graph)
+        validate_circuit_constraints(result.circuit)
+        assert verify_circuit_generates(
+            result.circuit, graph, photon_of_vertex=result.sequence.photon_of_vertex
+        )
+
+    @given(graph_inputs)
+    @settings(max_examples=30, deadline=None)
+    def test_baseline_generates_every_random_graph_state(self, params):
+        graph = build_graph(params)
+        result = BaselineCompiler().compile(graph)
+        validate_circuit_constraints(result.circuit)
+        assert verify_circuit_generates(
+            result.circuit, graph, photon_of_vertex=result.sequence.photon_of_vertex
+        )
+
+    @given(graph_inputs)
+    @settings(max_examples=30, deadline=None)
+    def test_every_photon_emitted_exactly_once_and_metrics_consistent(self, params):
+        graph = build_graph(params)
+        result = EmitterCompiler(tiny_config()).compile(graph)
+        assert result.metrics.num_emissions == graph.num_vertices
+        assert result.metrics.num_emitter_emitter_cnots >= 0
+        assert result.metrics.duration >= result.metrics.average_photon_loss_duration
+        assert result.metrics.max_emitters_in_use <= result.circuit.num_emitters
+
+
+class TestGraphTheoryProperties:
+    @given(graph_inputs)
+    @settings(max_examples=40, deadline=None)
+    def test_lc_sequences_are_invertible(self, params):
+        graph = build_graph(params)
+        vertices = [v for v in graph.vertices() if graph.degree(v) >= 2]
+        sequence = vertices[:3]
+        transformed, _ = apply_lc_sequence(graph, sequence)
+        restored, _ = apply_lc_sequence(transformed, list(reversed(sequence)))
+        assert restored == graph
+
+    @given(graph_inputs)
+    @settings(max_examples=40, deadline=None)
+    def test_cut_rank_bounds_minimum_emitters(self, params):
+        graph = build_graph(params)
+        n_e = minimum_emitters(graph)
+        assert 1 <= n_e <= graph.num_vertices
+        # The bound is the maximum over prefixes, so it dominates the cut rank
+        # of the first half of the natural order.
+        half = graph.vertices()[: graph.num_vertices // 2]
+        assert cut_rank(graph, half) <= n_e
+
+    @given(graph_inputs)
+    @settings(max_examples=40, deadline=None)
+    def test_lc_preserves_cut_rank_of_single_vertices(self, params):
+        # Local complementation preserves all connectivity-function values;
+        # check it for single-vertex cuts (vertex degree parity can change,
+        # but the GF(2) rank of a single row is just "has any neighbour").
+        graph = build_graph(params)
+        candidates = [v for v in graph.vertices() if graph.degree(v) >= 2]
+        if not candidates:
+            return
+        vertex = candidates[0]
+        transformed, _ = apply_lc_sequence(graph, [vertex])
+        for v in graph.vertices():
+            assert cut_rank(graph, [v]) == cut_rank(transformed, [v])

@@ -1,0 +1,86 @@
+"""Tests for the subgraph recombination scheduler (Tetris packing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CompilerConfig
+from repro.core.scheduler import SubgraphScheduler
+from repro.core.subgraph_compiler import SubgraphCompiler
+from repro.graphs.generators import lattice_graph, linear_cluster, ring_graph
+
+
+def compile_blocks(graphs):
+    compiler = SubgraphCompiler(
+        CompilerConfig(max_order_candidates=12, exhaustive_order_threshold=4)
+    )
+    return [compiler.compile_flexible(graph) for graph in graphs]
+
+
+@pytest.fixture(scope="module")
+def block_variants():
+    return compile_blocks([linear_cluster(4), ring_graph(5), lattice_graph(2, 3)])
+
+
+class TestScheduler:
+    def test_every_block_is_scheduled_once(self, block_variants):
+        plan = SubgraphScheduler(emitter_limit=4).schedule(block_variants)
+        assert sorted(item.block_index for item in plan.scheduled) == [0, 1, 2]
+
+    def test_emitter_assignments_respect_the_limit(self, block_variants):
+        limit = 3
+        plan = SubgraphScheduler(emitter_limit=limit).schedule(block_variants)
+        for item in plan.scheduled:
+            assert 1 <= len(item.emitter_ids) <= limit
+            assert all(0 <= e < limit for e in item.emitter_ids)
+
+    def test_concurrent_blocks_use_disjoint_emitters(self, block_variants):
+        plan = SubgraphScheduler(emitter_limit=5).schedule(block_variants)
+        items = plan.scheduled
+        for i, a in enumerate(items):
+            for b in items[i + 1:]:
+                overlap_in_time = a.start_time < b.end_time and b.start_time < a.end_time
+                if overlap_in_time and a.duration > 0 and b.duration > 0:
+                    assert not (set(a.emitter_ids) & set(b.emitter_ids))
+
+    def test_priority_orders_emissions(self, block_variants):
+        plan = SubgraphScheduler(emitter_limit=2).schedule(block_variants)
+        scheduled = sorted(plan.scheduled, key=lambda s: s.start_time)
+        priorities = [item.priority for item in scheduled]
+        # Low-priority blocks (few photons per unit time) are emitted earlier.
+        assert priorities == sorted(priorities)
+
+    def test_emission_vertex_order_covers_every_vertex(self, block_variants):
+        plan = SubgraphScheduler(emitter_limit=4).schedule(block_variants)
+        order = plan.emission_vertex_order()
+        total_vertices = sum(
+            variants[min(variants)].num_photons for variants in block_variants
+        )
+        assert len(order) == total_vertices
+
+    def test_reversed_plan_is_latest_first(self, block_variants):
+        plan = SubgraphScheduler(emitter_limit=4).schedule(block_variants)
+        reversed_plan = plan.reversed_processing_plan()
+        starts = [item.start_time for item in reversed_plan]
+        assert starts == sorted(starts, reverse=True)
+
+    def test_utilisation_is_a_fraction(self, block_variants):
+        plan = SubgraphScheduler(emitter_limit=4).schedule(block_variants)
+        assert 0.0 < plan.utilisation() <= 1.0 + 1e-9
+
+    def test_makespan_estimate_bounds_end_times(self, block_variants):
+        plan = SubgraphScheduler(emitter_limit=3).schedule(block_variants)
+        assert plan.makespan_estimate == pytest.approx(
+            max(item.end_time for item in plan.scheduled)
+        )
+
+    def test_more_emitters_never_lengthen_the_plan(self, block_variants):
+        tight = SubgraphScheduler(emitter_limit=2).schedule(block_variants)
+        loose = SubgraphScheduler(emitter_limit=6).schedule(block_variants)
+        assert loose.makespan_estimate <= tight.makespan_estimate + 1e-9
+
+    def test_invalid_inputs(self, block_variants):
+        with pytest.raises(ValueError):
+            SubgraphScheduler(emitter_limit=0)
+        with pytest.raises(ValueError):
+            SubgraphScheduler(emitter_limit=2).schedule([])

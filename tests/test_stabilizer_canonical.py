@@ -1,0 +1,111 @@
+"""Tests for stabilizer canonical forms and exact state equality."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stabilizer.canonical import canonical_stabilizer_matrix, states_equal
+from repro.stabilizer.tableau import StabilizerState
+
+
+def random_clifford_state(num_qubits: int, gate_choices, seed_state=None) -> StabilizerState:
+    state = seed_state if seed_state is not None else StabilizerState(num_qubits)
+    for kind, a, b in gate_choices:
+        if kind == "h":
+            state.h(a)
+        elif kind == "s":
+            state.s(a)
+        elif kind == "cnot" and a != b:
+            state.cnot(a, b)
+        elif kind == "cz" and a != b:
+            state.cz(a, b)
+    return state
+
+
+gate_sequences = st.lists(
+    st.tuples(
+        st.sampled_from(["h", "s", "cnot", "cz"]),
+        st.integers(0, 3),
+        st.integers(0, 3),
+    ),
+    min_size=0,
+    max_size=15,
+)
+
+
+class TestCanonicalForm:
+    def test_canonical_form_is_deterministic(self):
+        state = StabilizerState.from_graph_edges(3, [(0, 1), (1, 2)])
+        first = canonical_stabilizer_matrix(state)
+        second = canonical_stabilizer_matrix(state)
+        assert (first == second).all()
+
+    def test_gate_order_of_commuting_gates_does_not_matter(self):
+        a = StabilizerState(3)
+        for q in range(3):
+            a.h(q)
+        a.cz(0, 1)
+        a.cz(1, 2)
+        b = StabilizerState(3)
+        for q in range(3):
+            b.h(q)
+        b.cz(1, 2)
+        b.cz(0, 1)
+        assert (canonical_stabilizer_matrix(a) == canonical_stabilizer_matrix(b)).all()
+
+    def test_canonical_form_shape(self):
+        state = StabilizerState(4)
+        matrix = canonical_stabilizer_matrix(state)
+        assert matrix.shape == (4, 9)
+
+
+class TestStatesEqual:
+    def test_equal_states_from_different_constructions(self):
+        # |+>|+> with a CZ equals the same state built with CNOT + H.
+        a = StabilizerState(2)
+        a.h(0)
+        a.h(1)
+        a.cz(0, 1)
+        b = StabilizerState(2)
+        b.h(0)
+        b.cnot(0, 1)
+        b.h(1)
+        assert states_equal(a, b)
+
+    def test_phase_matters(self):
+        a = StabilizerState(1)
+        a.h(0)  # |+>
+        b = StabilizerState(1)
+        b.x_gate(0)
+        b.h(0)  # |->
+        assert not states_equal(a, b)
+
+    def test_different_entanglement_structure(self):
+        a = StabilizerState.from_graph_edges(3, [(0, 1)])
+        b = StabilizerState.from_graph_edges(3, [(1, 2)])
+        assert not states_equal(a, b)
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            states_equal(StabilizerState(2), StabilizerState(3))
+
+    @given(gate_sequences)
+    @settings(max_examples=50, deadline=None)
+    def test_state_equals_itself_after_copy(self, gates):
+        state = random_clifford_state(4, gates)
+        assert states_equal(state, state.copy())
+
+    @given(gate_sequences)
+    @settings(max_examples=50, deadline=None)
+    def test_extra_z_on_plus_breaks_equality(self, gates):
+        state = random_clifford_state(4, gates)
+        modified = state.copy()
+        modified.h(0)
+        modified.s(0)
+        # H then S is never the identity on any stabilizer state axis-aligned
+        # with the original, so equality must only hold if it is undone.
+        modified.sdg(0)
+        modified.h(0)
+        assert states_equal(state, modified)

@@ -1,0 +1,222 @@
+"""Tests for the CHP-style stabilizer tableau simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stabilizer.canonical import states_equal
+from repro.stabilizer.tableau import StabilizerState
+
+
+def pauli_bits(num_qubits: int, xs=(), zs=()):
+    x = np.zeros(num_qubits, dtype=np.uint8)
+    z = np.zeros(num_qubits, dtype=np.uint8)
+    for q in xs:
+        x[q] = 1
+    for q in zs:
+        z[q] = 1
+    return x, z
+
+
+class TestConstruction:
+    def test_initial_state_is_all_zero(self):
+        state = StabilizerState(3)
+        for q in range(3):
+            assert state.qubit_is_zero(q)
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            StabilizerState(0)
+
+    def test_copy_is_independent(self):
+        state = StabilizerState(2)
+        clone = state.copy()
+        state.h(0)
+        assert clone.qubit_is_zero(0)
+        assert not states_equal(state, clone)
+
+    def test_qubit_index_validation(self):
+        state = StabilizerState(2)
+        with pytest.raises(ValueError):
+            state.h(2)
+        with pytest.raises(ValueError):
+            state.cnot(0, 5)
+        with pytest.raises(ValueError):
+            state.cnot(1, 1)
+
+
+class TestSingleQubitGates:
+    def test_h_creates_plus_state(self):
+        state = StabilizerState(1)
+        state.h(0)
+        x, z = pauli_bits(1, xs=[0])
+        assert state.contains_pauli(x, z, sign=0)
+
+    def test_x_flips_to_one(self):
+        state = StabilizerState(1)
+        state.x_gate(0)
+        x, z = pauli_bits(1, zs=[0])
+        assert state.contains_pauli(x, z, sign=1)  # -Z stabilises |1>
+        assert state.measure_z(0) == 1
+
+    def test_hh_is_identity(self):
+        state = StabilizerState(1)
+        state.h(0)
+        state.h(0)
+        assert state.qubit_is_zero(0)
+
+    def test_s_squared_is_z(self):
+        via_s = StabilizerState(1)
+        via_s.h(0)
+        via_s.s(0)
+        via_s.s(0)
+        via_z = StabilizerState(1)
+        via_z.h(0)
+        via_z.z_gate(0)
+        assert states_equal(via_s, via_z)
+
+    def test_s_then_sdg_is_identity(self):
+        state = StabilizerState(1)
+        state.h(0)
+        reference = state.copy()
+        state.s(0)
+        state.sdg(0)
+        assert states_equal(state, reference)
+
+    def test_sqrt_x_and_inverse(self):
+        state = StabilizerState(1)
+        state.h(0)
+        reference = state.copy()
+        state.sqrt_x(0)
+        state.sqrt_x_dag(0)
+        assert states_equal(state, reference)
+
+    def test_sqrt_x_squared_is_x_up_to_phase(self):
+        via_sqrt = StabilizerState(1)
+        via_sqrt.sqrt_x(0)
+        via_sqrt.sqrt_x(0)
+        via_x = StabilizerState(1)
+        via_x.x_gate(0)
+        assert states_equal(via_sqrt, via_x)
+
+    def test_y_equals_xz_up_to_phase(self):
+        via_y = StabilizerState(1)
+        via_y.h(0)
+        via_y.y_gate(0)
+        via_xz = StabilizerState(1)
+        via_xz.h(0)
+        via_xz.z_gate(0)
+        via_xz.x_gate(0)
+        assert states_equal(via_y, via_xz)
+
+
+class TestTwoQubitGates:
+    def test_bell_state_stabilizers(self):
+        state = StabilizerState(2)
+        state.h(0)
+        state.cnot(0, 1)
+        xx = pauli_bits(2, xs=[0, 1])
+        zz = pauli_bits(2, zs=[0, 1])
+        assert state.contains_pauli(*xx, sign=0)
+        assert state.contains_pauli(*zz, sign=0)
+        # Anti-correlated stabilizer -ZZ is *not* in the group.
+        assert not state.contains_pauli(*zz, sign=1)
+
+    def test_cz_symmetry(self):
+        a = StabilizerState(2)
+        a.h(0)
+        a.h(1)
+        a.cz(0, 1)
+        b = StabilizerState(2)
+        b.h(0)
+        b.h(1)
+        b.cz(1, 0)
+        assert states_equal(a, b)
+
+    def test_cz_squared_is_identity(self):
+        state = StabilizerState(2)
+        state.h(0)
+        state.h(1)
+        reference = state.copy()
+        state.cz(0, 1)
+        state.cz(0, 1)
+        assert states_equal(state, reference)
+
+    def test_ghz_state(self):
+        state = StabilizerState(3)
+        state.h(0)
+        state.cnot(0, 1)
+        state.cnot(1, 2)
+        xxx = pauli_bits(3, xs=[0, 1, 2])
+        assert state.contains_pauli(*xxx, sign=0)
+        for pair in [(0, 1), (1, 2), (0, 2)]:
+            zz = pauli_bits(3, zs=list(pair))
+            assert state.contains_pauli(*zz, sign=0)
+
+
+class TestMeasurementAndReset:
+    def test_deterministic_measurement_of_zero(self):
+        state = StabilizerState(1)
+        assert state.measure_z(0) == 0
+
+    def test_deterministic_measurement_of_one(self):
+        state = StabilizerState(1)
+        state.x_gate(0)
+        assert state.measure_z(0) == 1
+
+    def test_random_measurement_collapses(self):
+        state = StabilizerState(1)
+        state.h(0)
+        outcome = state.measure_z(0, forced_outcome=1)
+        assert outcome == 1
+        # A second measurement is now deterministic.
+        assert state.measure_z(0) == 1
+
+    def test_forced_outcome_zero(self):
+        state = StabilizerState(1)
+        state.h(0)
+        assert state.measure_z(0, forced_outcome=0) == 0
+        assert state.qubit_is_zero(0)
+
+    def test_bell_measurement_correlation(self):
+        for forced in (0, 1):
+            state = StabilizerState(2)
+            state.h(0)
+            state.cnot(0, 1)
+            first = state.measure_z(0, forced_outcome=forced)
+            second = state.measure_z(1)
+            assert first == second == forced
+
+    def test_reset_returns_to_zero(self):
+        state = StabilizerState(2)
+        state.h(0)
+        state.cnot(0, 1)
+        state.reset(0)
+        assert state.qubit_is_zero(0)
+
+    def test_measurement_statistics_on_plus_state(self):
+        outcomes = set()
+        for seed in range(20):
+            state = StabilizerState(1, seed=seed)
+            state.h(0)
+            outcomes.add(state.measure_z(0))
+        assert outcomes == {0, 1}
+
+
+class TestGraphStates:
+    def test_graph_state_stabilizers(self):
+        # Path graph 0-1-2: stabilizers X0 Z1, Z0 X1 Z2, Z1 X2.
+        state = StabilizerState.from_graph_edges(3, [(0, 1), (1, 2)])
+        assert state.contains_pauli(*pauli_bits(3, xs=[0], zs=[1]), sign=0)
+        assert state.contains_pauli(*pauli_bits(3, xs=[1], zs=[0, 2]), sign=0)
+        assert state.contains_pauli(*pauli_bits(3, xs=[2], zs=[1]), sign=0)
+
+    def test_contains_pauli_rejects_non_members(self):
+        state = StabilizerState.from_graph_edges(2, [(0, 1)])
+        assert not state.contains_pauli(*pauli_bits(2, xs=[0]), sign=0)
+
+    def test_contains_pauli_validates_shape(self):
+        state = StabilizerState(2)
+        with pytest.raises(ValueError):
+            state.contains_pauli(np.zeros(3, dtype=np.uint8), np.zeros(2, dtype=np.uint8))

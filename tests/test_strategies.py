@@ -1,0 +1,129 @@
+"""Tests for the greedy reduction strategy (baseline and framework policies)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.validation import verify_circuit_generates
+from repro.core.strategies import GreedyReductionStrategy, greedy_reduce
+from repro.graphs.entanglement import minimum_emitters
+from repro.graphs.generators import (
+    complete_graph,
+    lattice_graph,
+    linear_cluster,
+    ring_graph,
+    star_graph,
+    waxman_graph,
+)
+from repro.graphs.graph_state import GraphState
+
+
+def verified(graph, **kwargs) -> bool:
+    sequence = greedy_reduce(graph, **kwargs)
+    return verify_circuit_generates(
+        sequence.to_circuit(), graph, photon_of_vertex=sequence.photon_of_vertex
+    )
+
+
+class TestCorrectness:
+    def test_named_graphs_all_verify(self, small_graph_zoo):
+        for name, graph in small_graph_zoo.items():
+            assert verified(graph), f"greedy reduction failed verification on {name}"
+
+    def test_random_graphs_all_verify(self, random_small_graphs):
+        for index, graph in enumerate(random_small_graphs):
+            assert verified(graph), f"random graph #{index} failed verification"
+
+    def test_custom_processing_order_verifies(self):
+        graph = lattice_graph(2, 3)
+        order = sorted(graph.vertices(), key=lambda v: graph.degree(v))
+        assert verified(graph, processing_order=order)
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            GreedyReductionStrategy(),
+            GreedyReductionStrategy(enable_twin_rule=False),
+            GreedyReductionStrategy(allow_disconnect_absorb=False),
+            GreedyReductionStrategy(prefer_disconnect_over_allocate=True),
+            GreedyReductionStrategy(emitter_budget=2),
+        ],
+    )
+    def test_all_policies_verify_on_a_lattice(self, strategy):
+        graph = lattice_graph(3, 3)
+        assert verified(graph, strategy=strategy)
+
+    @given(st.integers(0, 400), st.integers(2, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_waxman_graphs_verify(self, seed, size):
+        graph = waxman_graph(size, seed=seed)
+        assert verified(graph)
+
+
+class TestQuality:
+    def test_linear_cluster_needs_no_emitter_cnots(self):
+        sequence = greedy_reduce(linear_cluster(10))
+        assert sequence.num_emitter_emitter_gates == 0
+        assert sequence.num_emitters == 1
+
+    def test_star_needs_no_emitter_cnots(self):
+        sequence = greedy_reduce(star_graph(8))
+        assert sequence.num_emitter_emitter_gates == 0
+        assert sequence.num_emitters == 1
+
+    def test_ring_uses_two_emitters(self):
+        sequence = greedy_reduce(ring_graph(8))
+        assert sequence.num_emitters == 2
+        assert sequence.num_emitter_emitter_gates <= 4
+
+    def test_every_photon_is_emitted_exactly_once(self):
+        graph = lattice_graph(3, 3)
+        sequence = greedy_reduce(graph)
+        assert sequence.num_emissions == graph.num_vertices
+        assert sorted(sequence.emission_order()) == list(range(graph.num_vertices))
+
+    def test_disconnect_absorb_never_hurts_cnot_count(self):
+        graph = waxman_graph(15, seed=5)
+        with_move = greedy_reduce(graph, strategy=GreedyReductionStrategy())
+        without_move = greedy_reduce(
+            graph, strategy=GreedyReductionStrategy(allow_disconnect_absorb=False)
+        )
+        assert (
+            with_move.num_emitter_emitter_gates
+            <= without_move.num_emitter_emitter_gates
+        )
+
+    def test_minimal_emitter_policy_uses_fewer_emitters(self):
+        graph = waxman_graph(15, seed=6)
+        greedy = greedy_reduce(graph, strategy=GreedyReductionStrategy())
+        frugal = greedy_reduce(
+            graph, strategy=GreedyReductionStrategy(prefer_disconnect_over_allocate=True)
+        )
+        assert frugal.num_emitters <= greedy.num_emitters
+
+
+class TestBudgets:
+    def test_budget_respected_when_feasible(self):
+        graph = lattice_graph(3, 4)
+        budget = minimum_emitters(graph) + 2
+        sequence = greedy_reduce(
+            graph, strategy=GreedyReductionStrategy(emitter_budget=budget)
+        )
+        assert sequence.num_emitters <= budget + sequence.emitters_over_budget
+
+    def test_overflow_is_reported_not_hidden(self):
+        graph = complete_graph(6)
+        sequence = greedy_reduce(
+            graph, strategy=GreedyReductionStrategy(emitter_budget=1)
+        )
+        assert sequence.num_emitters >= 1
+        assert sequence.emitters_over_budget >= 0
+
+    def test_invalid_processing_order_rejected(self):
+        graph = linear_cluster(3)
+        with pytest.raises(ValueError):
+            greedy_reduce(graph, processing_order=[0, 1])
+        with pytest.raises(ValueError):
+            greedy_reduce(graph, processing_order=[0, 1, 1])

@@ -1,0 +1,148 @@
+"""Tests for gate durations, ASAP/ALAP scheduling and emitter-usage curves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import GateName, emitter, photon
+from repro.circuit.timing import GateDurations, schedule_circuit
+
+
+@pytest.fixture
+def durations() -> GateDurations:
+    return GateDurations()
+
+
+def serial_circuit() -> Circuit:
+    """Two CZs on the same emitter pair: strictly serial."""
+    circuit = Circuit(num_emitters=2, num_photons=1)
+    circuit.add_cz(0, 1)
+    circuit.add_cz(0, 1)
+    circuit.add_emission(0, 0)
+    return circuit
+
+
+def parallel_circuit() -> Circuit:
+    """Two CZs on disjoint emitter pairs: fully parallel."""
+    circuit = Circuit(num_emitters=4, num_photons=0)
+    circuit.add_cz(0, 1)
+    circuit.add_cz(2, 3)
+    return circuit
+
+
+class TestDurations:
+    def test_defaults_follow_quantum_dot_ratios(self, durations):
+        circuit = Circuit(2, 1)
+        circuit.add_cz(0, 1)
+        circuit.add_emission(0, 0)
+        cz, emit = circuit.gates
+        assert durations.duration_of(cz) == pytest.approx(1.0)
+        assert durations.duration_of(emit) == pytest.approx(0.1)
+
+    def test_photon_single_qubit_gates_are_fast(self, durations):
+        circuit = Circuit(1, 1)
+        circuit.add_emission(0, 0)
+        circuit.add_single(GateName.H, photon(0))
+        circuit.add_single(GateName.H, emitter(0))
+        _, photon_h, emitter_h = circuit.gates
+        assert durations.duration_of(photon_h) < durations.duration_of(emitter_h)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            GateDurations(emission=-0.1)
+
+
+class TestScheduling:
+    def test_serial_makespan(self, durations):
+        schedule = schedule_circuit(serial_circuit(), durations, policy="asap")
+        assert schedule.makespan == pytest.approx(2.0 + 0.1)
+
+    def test_parallel_makespan(self, durations):
+        schedule = schedule_circuit(parallel_circuit(), durations, policy="asap")
+        assert schedule.makespan == pytest.approx(1.0)
+
+    def test_alap_has_same_makespan_as_asap(self, durations):
+        circuit = serial_circuit()
+        asap = schedule_circuit(circuit, durations, policy="asap")
+        alap = schedule_circuit(circuit, durations, policy="alap")
+        assert alap.makespan == pytest.approx(asap.makespan)
+
+    def test_alap_delays_early_emissions(self, durations):
+        # Emission on emitter 1 is independent of the long CZ chain on 0/2;
+        # ALAP should push it towards the end of the circuit.
+        circuit = Circuit(num_emitters=3, num_photons=1)
+        circuit.add_emission(1, 0)
+        circuit.add_cz(0, 2)
+        circuit.add_cz(0, 2)
+        asap = schedule_circuit(circuit, durations, policy="asap")
+        alap = schedule_circuit(circuit, durations, policy="alap")
+        assert alap.emission_times()[0] > asap.emission_times()[0]
+        assert alap.average_photon_loss_duration() < asap.average_photon_loss_duration()
+
+    def test_invalid_policy_rejected(self, durations):
+        with pytest.raises(ValueError):
+            schedule_circuit(serial_circuit(), durations, policy="greedy")
+
+    def test_gate_order_respected_per_qubit(self, durations):
+        schedule = schedule_circuit(serial_circuit(), durations)
+        assert schedule.start_times[1] >= schedule.end_times[0] - 1e-12
+
+    def test_empty_circuit(self, durations):
+        schedule = schedule_circuit(Circuit(1, 1), durations)
+        assert schedule.makespan == 0.0
+        assert schedule.average_photon_loss_duration() == 0.0
+
+
+class TestPhotonExposure:
+    def test_exposures_are_time_to_end(self, durations):
+        circuit = Circuit(num_emitters=2, num_photons=2)
+        circuit.add_emission(0, 0)
+        circuit.add_cz(0, 1)
+        circuit.add_emission(0, 1)
+        schedule = schedule_circuit(circuit, durations, policy="asap")
+        exposures = schedule.photon_exposure_times()
+        assert exposures[0] > exposures[1]
+        assert exposures[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_average_loss_duration(self, durations):
+        circuit = Circuit(num_emitters=2, num_photons=2)
+        circuit.add_emission(0, 0)
+        circuit.add_cz(0, 1)
+        circuit.add_emission(0, 1)
+        schedule = schedule_circuit(circuit, durations, policy="asap")
+        exposures = schedule.photon_exposure_times()
+        expected = sum(exposures.values()) / 2
+        assert schedule.average_photon_loss_duration() == pytest.approx(expected)
+
+
+class TestEmitterUsage:
+    def test_usage_counts_active_emitters(self, durations):
+        circuit = Circuit(num_emitters=2, num_photons=0)
+        circuit.add_cz(0, 1)
+        schedule = schedule_circuit(circuit, durations)
+        curve = schedule.emitter_usage_curve()
+        assert max(count for _, count in curve) == 2
+        assert curve[-1][1] == 0
+
+    def test_measurement_frees_the_emitter(self, durations):
+        circuit = Circuit(num_emitters=2, num_photons=1)
+        circuit.add_cz(0, 1)
+        circuit.add_measure(0)
+        circuit.add_emission(1, 0)
+        schedule = schedule_circuit(circuit, durations)
+        intervals = schedule.emitter_active_intervals()
+        # Emitter 0 has exactly one closed interval ending at its measurement
+        # (the measurement ends at CZ duration + measurement duration).
+        assert len(intervals[0]) == 1
+        assert intervals[0][0][1] == pytest.approx(
+            durations.emitter_emitter_gate + durations.measurement
+        )
+
+    def test_peak_usage(self, durations):
+        schedule = schedule_circuit(parallel_circuit(), durations)
+        assert schedule.max_emitters_in_use() == 4
+
+    def test_empty_circuit_curve(self, durations):
+        schedule = schedule_circuit(Circuit(1, 1), durations)
+        assert schedule.emitter_usage_curve() == [(0.0, 0)]

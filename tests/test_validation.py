@@ -1,0 +1,120 @@
+"""Tests for circuit simulation and end-to-end verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import Gate, GateName, emitter, photon
+from repro.circuit.validation import (
+    CircuitValidationError,
+    simulate_circuit,
+    validate_circuit_constraints,
+    verify_circuit_generates,
+)
+from repro.graphs.graph_state import GraphState
+
+
+def bell_pair_circuit() -> Circuit:
+    """Generates the 2-photon graph state with a single edge."""
+    circuit = Circuit(num_emitters=1, num_photons=2)
+    circuit.add_single(GateName.H, emitter(0))
+    circuit.add_emission(0, 1)
+    circuit.add_single(GateName.H, emitter(0))
+    circuit.add_emission(0, 0)
+    circuit.add_single(GateName.H, emitter(0))
+    circuit.add_measure(0, conditional_paulis=[("Z", photon(0))])
+    return circuit
+
+
+class TestSimulation:
+    def test_simulated_photons_form_the_edge_state(self):
+        final = simulate_circuit(bell_pair_circuit(), seed=0)
+        # Photon wires are 0 and 1, the emitter wire is 2 and must be |0>.
+        assert final.qubit_is_zero(2)
+
+    def test_measurement_feedforward_makes_the_output_deterministic(self):
+        graph = GraphState(vertices=[0, 1], edges=[(0, 1)])
+        assert verify_circuit_generates(bell_pair_circuit(), graph, num_trials=5)
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_circuit(Circuit(0, 0))
+
+    def test_reset_gate_supported(self):
+        circuit = Circuit(num_emitters=1, num_photons=1)
+        circuit.add_single(GateName.H, emitter(0))
+        circuit.add_emission(0, 0)
+        circuit.add_single(GateName.H, photon(0))
+        circuit.add_reset(0)
+        final = simulate_circuit(circuit)
+        assert final.qubit_is_zero(1)
+
+
+class TestVerification:
+    def test_wrong_target_fails(self):
+        triangle = GraphState(vertices=[0, 1], edges=[])
+        assert not verify_circuit_generates(bell_pair_circuit(), triangle)
+
+    def test_missing_correction_fails(self):
+        # Same circuit but without the conditional Z: outcome-dependent state.
+        circuit = Circuit(num_emitters=1, num_photons=2)
+        circuit.add_single(GateName.H, emitter(0))
+        circuit.add_emission(0, 1)
+        circuit.add_single(GateName.H, emitter(0))
+        circuit.add_emission(0, 0)
+        circuit.add_single(GateName.H, emitter(0))
+        circuit.add_measure(0)
+        graph = GraphState(vertices=[0, 1], edges=[(0, 1)])
+        assert not verify_circuit_generates(circuit, graph, num_trials=6)
+
+    def test_photon_mapping_size_mismatch(self):
+        graph = GraphState(vertices=[0, 1, 2], edges=[(0, 1)])
+        with pytest.raises(ValueError):
+            verify_circuit_generates(bell_pair_circuit(), graph)
+
+    def test_custom_photon_mapping(self):
+        graph = GraphState(vertices=["a", "b"], edges=[("a", "b")])
+        assert verify_circuit_generates(
+            bell_pair_circuit(), graph, photon_of_vertex={"a": 0, "b": 1}
+        )
+
+
+class TestStructuralConstraints:
+    def test_valid_circuit_passes(self):
+        validate_circuit_constraints(bell_pair_circuit())
+
+    def test_photon_photon_gate_detected(self):
+        # Bypass the Circuit container to build an invalid gate list.
+        circuit = Circuit(num_emitters=1, num_photons=2)
+        circuit.add_emission(0, 0)
+        circuit.add_emission(0, 1)
+        circuit._gates.append(Gate(GateName.CZ, (photon(0), photon(1))))
+        with pytest.raises(CircuitValidationError):
+            validate_circuit_constraints(circuit)
+
+    def test_gate_before_emission_detected(self):
+        circuit = Circuit(num_emitters=1, num_photons=1)
+        circuit._gates.append(Gate(GateName.H, (photon(0),)))
+        with pytest.raises(CircuitValidationError):
+            validate_circuit_constraints(circuit)
+
+    def test_double_emission_detected(self):
+        circuit = Circuit(num_emitters=1, num_photons=1)
+        circuit._gates.append(Gate(GateName.EMIT, (emitter(0), photon(0))))
+        circuit._gates.append(Gate(GateName.EMIT, (emitter(0), photon(0))))
+        with pytest.raises(CircuitValidationError):
+            validate_circuit_constraints(circuit)
+
+    def test_photon_measurement_detected(self):
+        circuit = Circuit(num_emitters=1, num_photons=1)
+        circuit._gates.append(Gate(GateName.EMIT, (emitter(0), photon(0))))
+        circuit._gates.append(Gate(GateName.MEASURE_Z, (photon(0),)))
+        with pytest.raises(CircuitValidationError):
+            validate_circuit_constraints(circuit)
+
+    def test_reversed_emission_operands_detected(self):
+        circuit = Circuit(num_emitters=1, num_photons=1)
+        circuit._gates.append(Gate(GateName.EMIT, (photon(0), emitter(0))))
+        with pytest.raises(CircuitValidationError):
+            validate_circuit_constraints(circuit)
