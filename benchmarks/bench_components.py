@@ -8,7 +8,6 @@ end-to-end sweeps.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baseline.naive import BaselineCompiler
 from repro.circuit.validation import verify_circuit_generates

@@ -1,17 +1,52 @@
-"""Compile-runtime scaling on linear cluster states (paper §III, Challenge 1).
+"""Compile-runtime scaling and GF(2) fast-path speedups (paper §III).
 
 The paper motivates the framework by GraphiQ's runtime exceeding 10^3 seconds
 for linear clusters beyond 10 qubits.  This benchmark measures the wall-clock
 time of the divide-and-conquer compiler on linear clusters up to 60 qubits
 and asserts it stays within an interactive budget (well under a minute per
 graph on a laptop).
+
+It also pins down the packed GF(2) fast path (``repro.utils.gf2_packed``):
+the cut-rank kernel and the stabilizer canonicalisation used by circuit
+verification must stay several times faster than the dense oracle at
+multi-hundred-qubit sizes.
+
+Environment knobs (used by the CI smoke job to keep runtimes tiny):
+
+* ``REPRO_BENCH_SIZES`` — comma-separated linear-cluster sizes
+  (default ``10,20,40,60``);
+* ``REPRO_BENCH_KERNEL_QUBITS`` — graph size for the kernel speedup
+  measurements (default ``512``; speedup assertions only apply from 256
+  qubits up, below that the benchmark just exercises the code paths).
 """
 
 from __future__ import annotations
 
-from repro.evaluation.figures import runtime_scaling
+import os
+import time
 
-SIZES = (10, 20, 40, 60)
+import numpy as np
+
+from repro.evaluation.figures import runtime_scaling
+from repro.graphs.entanglement import cut_rank
+from repro.graphs.graph_state import GraphState
+from repro.stabilizer.canonical import canonical_stabilizer_matrix
+from repro.stabilizer.tableau import StabilizerState
+
+
+def _env_sizes(name: str, default: tuple[int, ...]) -> tuple[int, ...]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    return tuple(int(part) for part in raw.replace(",", " ").split())
+
+
+SIZES = _env_sizes("REPRO_BENCH_SIZES", (10, 20, 40, 60))
+KERNEL_QUBITS = int(os.environ.get("REPRO_BENCH_KERNEL_QUBITS", "512"))
+
+#: Assert the packed backend is at least this many times faster (only at
+#: KERNEL_QUBITS >= 256; generous vs the typical 3-6x to absorb CI noise).
+MIN_KERNEL_SPEEDUP = 2.5
 
 
 def _run():
@@ -25,3 +60,95 @@ def test_runtime_scaling_linear_cluster(benchmark):
     benchmark.extra_info["max_ours_seconds"] = data.summary["max_ours_seconds"]
     assert data.summary["max_ours_seconds"] < 60.0
     assert len(data.rows) == len(SIZES)
+
+
+# --------------------------------------------------------------------------- #
+# Packed vs dense GF(2) kernels
+# --------------------------------------------------------------------------- #
+
+
+def _median_seconds(func, repeats: int = 5) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        times.append(time.perf_counter() - start)
+    return sorted(times)[len(times) // 2]
+
+
+def _random_graph(num_vertices: int, edges_per_vertex: int = 6) -> GraphState:
+    rng = np.random.default_rng(2025)
+    graph = GraphState(vertices=range(num_vertices))
+    for _ in range(edges_per_vertex * num_vertices):
+        u, v = rng.choice(num_vertices, size=2, replace=False)
+        graph.add_edge(int(u), int(v))
+    return graph
+
+
+def _scrambled_state(num_qubits: int, backend: str) -> StabilizerState:
+    """A graph state pushed through extra Cliffords + measurements.
+
+    Plain graph states canonicalise trivially (their X block is already the
+    identity); the scrambling makes the tableau generic so the benchmark
+    exercises the real row-multiplication cost of verification.
+    """
+    rng = np.random.default_rng(7)
+    edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    extra = rng.choice(num_qubits, size=(2 * num_qubits, 2))
+    edges.extend((int(u), int(v)) for u, v in extra if u != v)
+    state = StabilizerState.from_graph_edges(num_qubits, edges, backend=backend)
+    for q in range(0, num_qubits, 3):
+        state.h(q)
+        state.s((q + 1) % num_qubits)
+        state.cnot(q, (q + num_qubits // 2) % num_qubits)
+    for q in range(0, num_qubits, max(1, num_qubits // 8)):
+        state.measure_z(q, forced_outcome=0)
+    return state
+
+
+def test_gf2_backend_speedup(benchmark):
+    """Packed cut-rank and canonicalisation vs the dense oracle.
+
+    At ``n >= 256`` qubits the packed backend must be at least
+    ``MIN_KERNEL_SPEEDUP`` times faster on both kernels (typical measurements
+    are 3-4x for cut-rank and far more for canonicalisation, whose dense
+    path loops over qubits in Python).
+    """
+    n = KERNEL_QUBITS
+    graph = _random_graph(n)
+    subset = list(range(n // 2))
+
+    def measure():
+        dense_cut = _median_seconds(lambda: cut_rank(graph, subset, backend="dense"))
+        packed_cut = _median_seconds(lambda: cut_rank(graph, subset, backend="packed"))
+
+        dense_state = _scrambled_state(n, "dense")
+        packed_state = _scrambled_state(n, "packed")
+        assert np.array_equal(dense_state.r, packed_state.r)
+        dense_canon = _median_seconds(
+            lambda: canonical_stabilizer_matrix(dense_state), repeats=3
+        )
+        packed_canon = _median_seconds(
+            lambda: canonical_stabilizer_matrix(packed_state), repeats=3
+        )
+        return dense_cut, packed_cut, dense_canon, packed_canon
+
+    dense_cut, packed_cut, dense_canon, packed_canon = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    cut_speedup = dense_cut / packed_cut
+    canon_speedup = dense_canon / packed_canon
+    print()
+    print(
+        f"cut-rank @ {n} qubits: dense {dense_cut * 1e3:.2f} ms, "
+        f"packed {packed_cut * 1e3:.2f} ms, speedup {cut_speedup:.1f}x"
+    )
+    print(
+        f"canonicalisation @ {n} qubits: dense {dense_canon * 1e3:.2f} ms, "
+        f"packed {packed_canon * 1e3:.2f} ms, speedup {canon_speedup:.1f}x"
+    )
+    benchmark.extra_info["cut_rank_speedup"] = cut_speedup
+    benchmark.extra_info["canonicalisation_speedup"] = canon_speedup
+    if n >= 256:
+        assert cut_speedup >= MIN_KERNEL_SPEEDUP
+        assert canon_speedup >= MIN_KERNEL_SPEEDUP

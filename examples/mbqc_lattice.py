@@ -69,7 +69,14 @@ def hardware_retargeting_study() -> None:
         )
     print(
         render_table(
-            ["hardware", "ee-CNOTs", "duration (tau)", "duration (abs)", "state loss", "fidelity est."],
+            [
+            "hardware",
+            "ee-CNOTs",
+            "duration (tau)",
+            "duration (abs)",
+            "state loss",
+            "fidelity est.",
+        ],
             rows,
         )
     )

@@ -15,6 +15,31 @@ Quickstart::
     base = BaselineCompiler().compile(graph)
     print(ours.num_emitter_emitter_cnots, "vs", base.metrics.num_emitter_emitter_cnots)
 
+All GF(2)/stabilizer kernels run on a word-packed ``np.uint64`` fast path by
+default; the original dense implementation is kept as a bit-exact oracle and
+selectable per call (``backend="dense"``), per compilation
+(``CompilerConfig(gf2_backend=...)``), or process-wide::
+
+    from repro import set_default_backend, use_backend
+
+    set_default_backend("dense")          # or REPRO_GF2_BACKEND=dense
+    with use_backend("packed"):
+        ...                               # temporarily back on the fast path
+
+Whole sweeps go through the batch pipeline — declarative picklable jobs,
+process-pool fan-out and content-hash result caching::
+
+    from repro import BatchJob, BatchRunner, GraphSpec
+
+    jobs = [BatchJob(graph=GraphSpec("lattice", n)) for n in (10, 20, 30)]
+    report = BatchRunner(max_workers=4, cache_dir=".repro-cache").run(jobs)
+    print(report.summary())               # second run reports cache hits
+
+or, from the shell (the figure sweeps use the same machinery)::
+
+    repro batch --families lattice tree --sizes 10 20 30 \\
+        --workers 4 --cache-dir .repro-cache
+
 Public API highlights:
 
 * :class:`repro.core.compiler.EmitterCompiler` / :class:`repro.core.config.CompilerConfig`
@@ -27,6 +52,10 @@ Public API highlights:
 * :mod:`repro.hardware` — hardware presets and the photon-loss model.
 * :mod:`repro.evaluation` — the harness that regenerates every figure of the
   paper's evaluation.
+* :mod:`repro.pipeline` — the batch-compilation pipeline (jobs, process-pool
+  runner, content-hash cache) behind the sweeps and ``repro batch``.
+* :mod:`repro.utils.backend` / :mod:`repro.utils.gf2_packed` — the GF(2)
+  backend switch and the word-packed kernels.
 """
 
 from repro.baseline.naive import BaselineCompiler, BaselineResult
@@ -63,9 +92,17 @@ from repro.hardware.models import (
     rydberg_atom,
     siv_center,
 )
+from repro.pipeline.cache import ResultCache
+from repro.pipeline.jobs import BatchJob, GraphSpec
+from repro.pipeline.runner import BatchReport, BatchRunner
 from repro.stabilizer.tableau import StabilizerState
+from repro.utils.backend import (
+    get_default_backend,
+    set_default_backend,
+    use_backend,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -105,4 +142,12 @@ __all__ = [
     "rydberg_atom",
     "siv_center",
     "StabilizerState",
+    "BatchJob",
+    "BatchReport",
+    "BatchRunner",
+    "GraphSpec",
+    "ResultCache",
+    "get_default_backend",
+    "set_default_backend",
+    "use_backend",
 ]

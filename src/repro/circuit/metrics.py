@@ -16,7 +16,7 @@ circuit, a scheduling policy and a hardware model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.circuit.circuit import Circuit
 from repro.circuit.gates import GateName

@@ -25,7 +25,7 @@ emitters are "in use" at any time), which drives the Tetris packing of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.circuit.circuit import Circuit
 from repro.circuit.gates import (

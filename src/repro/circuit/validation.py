@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from repro.circuit.circuit import Circuit
 from repro.circuit.gates import (
-    Gate,
     GateName,
     MEASUREMENT_GATES,
     Qubit,
@@ -108,7 +107,7 @@ def _apply_single(state: StabilizerState, name: GateName, wire: int) -> None:
 
 
 def simulate_circuit(
-    circuit: Circuit, seed: int | None = 0
+    circuit: Circuit, seed: int | None = 0, backend: str | None = None
 ) -> StabilizerState:
     """Replay ``circuit`` on a stabilizer tableau starting from all ``|0>``.
 
@@ -116,11 +115,13 @@ def simulate_circuit(
     ``num_photons + e``.  Measurement outcomes are sampled (deterministically
     for the default seed) and the associated conditional Pauli corrections are
     applied, so the returned state is the state the hardware would produce.
+    ``backend`` selects the tableau storage backend (``None`` = process
+    default; both backends simulate bit-identically).
     """
     num_wires = circuit.num_photons + circuit.num_emitters
     if num_wires == 0:
         raise ValueError("cannot simulate a circuit with no qubits")
-    state = StabilizerState(num_wires, seed=seed)
+    state = StabilizerState(num_wires, seed=seed, backend=backend)
     np_ = circuit.num_photons
     for gate in circuit.gates:
         if gate.name in SINGLE_QUBIT_GATES:
@@ -166,6 +167,7 @@ def verify_circuit_generates(
     target_graph: GraphState,
     photon_of_vertex: dict | None = None,
     num_trials: int = 2,
+    backend: str | None = None,
 ) -> bool:
     """Check that ``circuit`` produces ``|target_graph>`` on its photons.
 
@@ -177,6 +179,8 @@ def verify_circuit_generates(
         num_trials: how many independent simulations to run (measurement
             outcomes are random; a correct circuit is deterministic *because*
             of its feed-forward corrections, so all trials must succeed).
+        backend: tableau/GF(2) backend for the simulations and the canonical
+            state comparison (``None`` = process default).
 
     Returns:
         True when, in every trial, the simulated final state equals
@@ -194,14 +198,14 @@ def verify_circuit_generates(
         )
 
     num_wires = circuit.num_photons + circuit.num_emitters
-    reference = StabilizerState(num_wires)
+    reference = StabilizerState(num_wires, backend=backend)
     for wire in range(circuit.num_photons):
         reference.h(wire)
     for u, v in target_graph.edges():
         reference.cz(photon_of_vertex[u], photon_of_vertex[v])
 
     for trial in range(max(1, num_trials)):
-        final = simulate_circuit(circuit, seed=trial)
-        if not states_equal(final, reference):
+        final = simulate_circuit(circuit, seed=trial, backend=backend)
+        if not states_equal(final, reference, backend=backend):
             return False
     return True

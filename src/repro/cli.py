@@ -1,30 +1,42 @@
 """Command-line interface.
 
-Two subcommands cover the common workflows:
+Three subcommands cover the common workflows:
 
-* ``repro-emitter compile`` — compile one benchmark graph and print the
-  circuit metrics (optionally the gate listing);
-* ``repro-emitter figure`` — regenerate one of the paper's figures and print
-  the data table.
+* ``repro compile`` — compile one benchmark graph and print the circuit
+  metrics (optionally the gate listing);
+* ``repro figure`` — regenerate one of the paper's figures and print the
+  data table;
+* ``repro batch`` — run a whole sweep of compilation jobs through the batch
+  pipeline, optionally across processes and with content-hash result caching.
 
 Examples::
 
-    repro-emitter compile --family lattice --size 20
-    repro-emitter compile --family tree --size 30 --baseline --verify
-    repro-emitter figure fig10a
-    repro-emitter figure fig11b
+    repro compile --family lattice --size 20
+    repro compile --family tree --size 30 --baseline --verify
+    repro figure fig10a
+    repro figure fig11b
+    repro batch --families lattice tree --sizes 10 20 --seeds 11 12 --workers 4
+    repro batch --families random --sizes 15 25 --cache-dir .repro-cache
+
+(The ``repro-emitter`` alias of the console script is kept for backwards
+compatibility.)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.baseline.naive import BaselineCompiler
 from repro.core.compiler import EmitterCompiler
-from repro.evaluation.experiments import fast_config
+from repro.evaluation.experiments import fast_config, sweep_jobs
 from repro.evaluation import figures
+from repro.evaluation.report import render_table
 from repro.graphs.generators import benchmark_graph
+from repro.pipeline.jobs import JOB_KINDS
+from repro.pipeline.runner import BatchRunner
+from repro.utils.backend import BACKENDS
 
 __all__ = ["main", "build_parser"]
 
@@ -45,7 +57,7 @@ _FIGURES = {
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
-        prog="repro-emitter",
+        prog="repro",
         description="Emitter-photonic graph-state compilation framework (DAC 2025 reproduction).",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -68,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="emitter limit as a multiple of N_e^min",
     )
     compile_parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=None,
+        help="GF(2)/tableau kernel backend (default: process default, packed)",
+    )
+    compile_parser.add_argument(
         "--baseline", action="store_true", help="also compile with the baseline"
     )
     compile_parser.add_argument(
@@ -88,6 +106,70 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the sweep sizes (number of qubits per point)",
     )
+
+    batch_parser = subparsers.add_parser(
+        "batch",
+        help="run a sweep of compilation jobs through the batch pipeline",
+    )
+    batch_parser.add_argument(
+        "--kind",
+        choices=list(JOB_KINDS),
+        default="comparison",
+        help="what each job computes (default: framework-vs-baseline comparison)",
+    )
+    batch_parser.add_argument(
+        "--families",
+        nargs="+",
+        default=["lattice"],
+        help="graph families to sweep (lattice/tree/random/waxman/linear/...)",
+    )
+    batch_parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[10, 20, 30],
+        help="graph sizes (number of qubits per point)",
+    )
+    batch_parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[11],
+        help="base graph seeds (one full sweep per seed)",
+    )
+    batch_parser.add_argument(
+        "--factors",
+        type=float,
+        nargs="+",
+        default=[1.5],
+        help="emitter-limit factors N_e^limit / N_e^min",
+    )
+    batch_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width; 1 runs serially in-process",
+    )
+    batch_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the content-hash result cache (omit to disable)",
+    )
+    batch_parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=None,
+        help="GF(2)/tableau kernel backend pinned for every job",
+    )
+    batch_parser.add_argument(
+        "--verify", action="store_true", help="verify every compiled circuit"
+    )
+    batch_parser.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="also dump the full per-job records to this JSON file",
+    )
     return parser
 
 
@@ -95,7 +177,7 @@ def _run_compile(args: argparse.Namespace) -> int:
     graph = benchmark_graph(args.family, args.size, seed=args.seed)
     config = fast_config(
         emitter_limit_factor=args.emitter_factor, verify=args.verify
-    )
+    ).with_overrides(gf2_backend=args.backend)
     result = EmitterCompiler(config).compile(graph)
     print(f"graph: {args.family} with {graph.num_vertices} qubits, {graph.num_edges} edges")
     print("framework result:")
@@ -118,6 +200,75 @@ def _run_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_row(outcome) -> list[object]:
+    record = outcome.result or {}
+    ours = record.get("ours", {})
+    baseline = record.get("baseline", {})
+    status = "error" if outcome.error else ("cached" if outcome.cache_hit else "ran")
+    return [
+        outcome.job.label,
+        record.get("num_qubits", "-"),
+        ours.get("num_emitter_emitter_cnots", "-"),
+        baseline.get("num_emitter_emitter_cnots", "-"),
+        f"{outcome.elapsed_seconds:.3f}",
+        status,
+    ]
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    jobs = [
+        job
+        for family in args.families
+        for seed in args.seeds
+        for factor in args.factors
+        for job in sweep_jobs(
+            family,
+            args.sizes,
+            kind=args.kind,
+            seed=seed,
+            emitter_limit_factor=factor,
+            backend=args.backend,
+            verify=args.verify,
+        )
+    ]
+    runner = BatchRunner(max_workers=args.workers, cache_dir=args.cache_dir)
+    report = runner.run(jobs)
+
+    print(
+        render_table(
+            ["job", "qubits", "ours_cnot", "baseline_cnot", "seconds", "status"],
+            [_batch_row(outcome) for outcome in report.outcomes],
+        )
+    )
+    summary = report.summary()
+    print(
+        f"jobs: {summary['num_jobs']}  cache hits: {summary['num_cache_hits']}  "
+        f"errors: {summary['num_errors']}  wall: {summary['wall_seconds']:.3f}s  "
+        f"compute: {summary['compute_seconds']:.3f}s"
+    )
+    for outcome in report.outcomes:
+        if outcome.error:
+            print(f"FAILED {outcome.job.label}: {outcome.error}")
+    if args.json_path:
+        payload = {
+            "summary": summary,
+            "jobs": [
+                {
+                    "label": outcome.job.label,
+                    "cache_hit": outcome.cache_hit,
+                    "elapsed_seconds": outcome.elapsed_seconds,
+                    "error": outcome.error,
+                    "result": outcome.result,
+                }
+                for outcome in report.outcomes
+            ],
+        }
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_path}")
+    return 1 if report.num_errors else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -126,6 +277,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_compile(args)
     if args.command == "figure":
         return _run_figure(args)
+    if args.command == "batch":
+        return _run_batch(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

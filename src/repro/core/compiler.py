@@ -28,7 +28,7 @@ every quantity of the paper without recomputing anything.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable
 
 from repro.circuit.circuit import Circuit
@@ -45,6 +45,7 @@ from repro.core.subgraph_compiler import SubgraphCompilationResult, SubgraphComp
 from repro.graphs.entanglement import minimum_emitters
 from repro.graphs.graph_state import GraphState
 from repro.graphs.local_complementation import lc_correction_gates
+from repro.utils.backend import use_backend
 
 __all__ = ["CompilationResult", "EmitterCompiler"]
 
@@ -114,7 +115,16 @@ class EmitterCompiler:
     # ------------------------------------------------------------------ #
 
     def compile(self, target_graph: GraphState) -> CompilationResult:
-        """Compile ``target_graph`` into a verified generation circuit."""
+        """Compile ``target_graph`` into a verified generation circuit.
+
+        When ``config.gf2_backend`` is set, every GF(2)/tableau kernel of the
+        compilation (cut ranks, partitioning, verification) runs on that
+        backend; otherwise the process default applies.
+        """
+        with use_backend(self.config.gf2_backend):
+            return self._compile(target_graph)
+
+    def _compile(self, target_graph: GraphState) -> CompilationResult:
         if target_graph.num_vertices == 0:
             raise ValueError("cannot compile an empty graph state")
         config = self.config

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.hardware.models import HardwareModel, quantum_dot
+from repro.utils.backend import BACKENDS
 
 __all__ = ["CompilerConfig"]
 
@@ -46,6 +47,9 @@ class CompilerConfig:
             ``"asap"`` reproduces baseline behaviour).
         use_twin_rule: enable the twin-absorption rewrite in the reduction.
         verify: re-simulate compiled circuits on the stabilizer tableau.
+        gf2_backend: GF(2)/tableau kernel backend pinned for the whole
+            compilation (``"dense"`` or ``"packed"``); ``None`` keeps the
+            process default of :mod:`repro.utils.backend`.
         hardware: hardware model (gate durations, loss).
         seed: seed for the stochastic components (ordering search sampling,
             annealing).
@@ -63,6 +67,7 @@ class CompilerConfig:
     scheduling_policy: str = "alap"
     use_twin_rule: bool = True
     verify: bool = False
+    gf2_backend: str | None = None
     hardware: HardwareModel = field(default_factory=quantum_dot)
     seed: int = 7
 
@@ -88,6 +93,11 @@ class CompilerConfig:
             raise ValueError("exhaustive_order_threshold must be >= 1")
         if self.scheduling_policy not in ("asap", "alap"):
             raise ValueError("scheduling_policy must be 'asap' or 'alap'")
+        if self.gf2_backend is not None and self.gf2_backend not in BACKENDS:
+            raise ValueError(
+                f"gf2_backend must be one of {BACKENDS} or None, "
+                f"got {self.gf2_backend!r}"
+            )
 
     def with_overrides(self, **kwargs) -> "CompilerConfig":
         """Return a copy with the given fields replaced."""

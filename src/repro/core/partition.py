@@ -23,8 +23,8 @@ Two solution paths are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Sequence
+from dataclasses import dataclass
+from typing import Hashable
 
 from repro.core.config import CompilerConfig
 from repro.graphs.graph_state import GraphState
@@ -82,7 +82,11 @@ class PartitionResult:
 
 def build_partition_program(
     graph: GraphState, max_block_size: int, num_blocks: int
-) -> tuple[BinaryLinearProgram, dict[tuple[Vertex, int], str], dict[tuple[Vertex, Vertex, int], str]]:
+) -> tuple[
+        BinaryLinearProgram,
+        dict[tuple[Vertex, int], str],
+        dict[tuple[Vertex, Vertex, int], str],
+    ]:
     """Build the 0-1 partition model of paper Eq. (4)-(5) for a fixed graph.
 
     Variables:

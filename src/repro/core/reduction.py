@@ -38,8 +38,8 @@ double-checks it.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Hashable, Sequence
 
 from repro.circuit.circuit import Circuit
 from repro.circuit.gates import GateName, photon as photon_qubit
@@ -178,7 +178,10 @@ class ReductionState:
         if target_graph.num_vertices == 0:
             raise ValueError("cannot reduce an empty target graph")
         vertices = list(photon_order) if photon_order is not None else target_graph.vertices()
-        if set(vertices) != set(target_graph.vertices()) or len(vertices) != target_graph.num_vertices:
+        if (
+            set(vertices) != set(target_graph.vertices())
+            or len(vertices) != target_graph.num_vertices
+        ):
             raise ValueError("photon_order must be a permutation of the target vertices")
         self.photon_of_vertex: dict[Vertex, int] = {v: i for i, v in enumerate(vertices)}
         self.num_photons = len(vertices)

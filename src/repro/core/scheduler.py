@@ -17,7 +17,7 @@ The scheduler decides
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Mapping, Sequence
 
 from repro.core.subgraph_compiler import SubgraphCompilationResult

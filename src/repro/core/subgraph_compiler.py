@@ -26,7 +26,6 @@ import numpy as np
 
 from repro.circuit.circuit import Circuit
 from repro.circuit.metrics import CircuitMetrics, compute_metrics
-from repro.circuit.timing import schedule_circuit
 from repro.core.config import CompilerConfig
 from repro.core.reduction import ReductionSequence
 from repro.core.strategies import GreedyReductionStrategy, greedy_reduce

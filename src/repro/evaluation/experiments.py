@@ -5,20 +5,49 @@ the primitive underneath is always the same — compile the graph with the
 framework and with the GraphiQ-like baseline under identical hardware
 assumptions and collect the three hardware-aware metrics (#emitter-emitter
 CNOT, circuit duration, photon loss).  :func:`run_comparison` is that
-primitive.
+primitive for in-process use; :func:`sweep_jobs` describes whole sweeps as
+batch-pipeline jobs (:mod:`repro.pipeline`), which is how the figure
+functions — and the ``repro batch`` CLI — execute them, optionally in
+parallel and with result caching.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.baseline.naive import BaselineCompiler, BaselineResult
 from repro.core.compiler import CompilationResult, EmitterCompiler
 from repro.core.config import CompilerConfig
 from repro.graphs.graph_state import GraphState
 from repro.hardware.models import HardwareModel, quantum_dot
+from repro.pipeline.jobs import BatchJob, GraphSpec
+from repro.pipeline.runner import BatchReport, BatchRunner
 
-__all__ = ["ComparisonPoint", "run_comparison", "fast_config"]
+__all__ = [
+    "ComparisonPoint",
+    "run_comparison",
+    "fast_config",
+    "sweep_jobs",
+    "run_sweep",
+    "default_runner",
+    "reduction_percent",
+    "loss_improvement_factor",
+]
+
+
+def reduction_percent(baseline: float, ours: float) -> float:
+    """Percentage by which ``ours`` undercuts ``baseline`` (0 when baseline <= 0)."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (baseline - ours) / baseline
+
+
+def loss_improvement_factor(baseline_loss: float, ours_loss: float) -> float:
+    """How many times lower ``ours_loss`` is than ``baseline_loss``."""
+    if ours_loss <= 0:
+        return float("inf") if baseline_loss > 0 else 1.0
+    return baseline_loss / ours_loss
 
 
 def fast_config(
@@ -71,9 +100,7 @@ class ComparisonPoint:
 
     @property
     def cnot_reduction_percent(self) -> float:
-        if self.baseline_cnots == 0:
-            return 0.0
-        return 100.0 * (self.baseline_cnots - self.ours_cnots) / self.baseline_cnots
+        return reduction_percent(self.baseline_cnots, self.ours_cnots)
 
     @property
     def baseline_duration(self) -> float:
@@ -85,9 +112,7 @@ class ComparisonPoint:
 
     @property
     def duration_reduction_percent(self) -> float:
-        if self.baseline_duration <= 0:
-            return 0.0
-        return 100.0 * (self.baseline_duration - self.ours_duration) / self.baseline_duration
+        return reduction_percent(self.baseline_duration, self.ours_duration)
 
     @property
     def baseline_loss(self) -> float:
@@ -100,9 +125,7 @@ class ComparisonPoint:
     @property
     def loss_improvement_factor(self) -> float:
         """How many times lower the framework's state loss probability is."""
-        if self.ours_loss <= 0:
-            return float("inf") if self.baseline_loss > 0 else 1.0
-        return self.baseline_loss / self.ours_loss
+        return loss_improvement_factor(self.baseline_loss, self.ours_loss)
 
 
 def run_comparison(
@@ -135,3 +158,62 @@ def run_comparison(
         verify=verify,
     ).compile(graph)
     return ComparisonPoint(graph=graph, ours=ours, baseline=baseline)
+
+
+# --------------------------------------------------------------------------- #
+# Batch-pipeline sweeps
+# --------------------------------------------------------------------------- #
+
+_default_runner: BatchRunner | None = None
+
+
+def default_runner() -> BatchRunner:
+    """The shared serial, cache-less runner used when no runner is passed.
+
+    Serial execution keeps the figure sweeps deterministic and dependency
+    free under pytest; pass an explicit :class:`BatchRunner` (with workers
+    and/or a cache directory) to any figure function or to :func:`run_sweep`
+    to fan out.
+    """
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = BatchRunner(max_workers=1, cache_dir=None)
+    return _default_runner
+
+
+def sweep_jobs(
+    family: str,
+    sizes: Sequence[int],
+    kind: str = "comparison",
+    seed: int = 11,
+    emitter_limit_factor: float = 1.5,
+    backend: str | None = None,
+    verify: bool = False,
+    config_overrides: Sequence[tuple[str, object]] = (),
+) -> list[BatchJob]:
+    """Describe one figure-style sweep as a list of pipeline jobs.
+
+    Matches the evaluation harness's graph construction exactly: point ``i``
+    of the sweep uses ``seed + i``, so the produced metrics are identical to
+    the historical in-process loops.
+    """
+    return [
+        BatchJob(
+            graph=GraphSpec(family=family, size=size, seed=seed + offset),
+            kind=kind,
+            emitter_limit_factor=emitter_limit_factor,
+            backend=backend,
+            verify=verify,
+            config_overrides=tuple(config_overrides),
+        )
+        for offset, size in enumerate(sizes)
+    ]
+
+
+def run_sweep(
+    jobs: Sequence[BatchJob], runner: BatchRunner | None = None
+) -> BatchReport:
+    """Execute pipeline jobs and fail loudly on the first job error."""
+    report = (runner if runner is not None else default_runner()).run(jobs)
+    report.raise_first_error()
+    return report

@@ -8,22 +8,34 @@ summary), which the benchmarks print and EXPERIMENTS.md records.
 Default sweep sizes follow the paper (lattice 10-60 qubits, tree 10-40,
 random/Waxman 10-35); callers — in particular the pytest benchmarks — can
 pass smaller size lists to keep wall-clock time down.
+
+Every sweep is expressed as batch-pipeline jobs (:mod:`repro.pipeline`) and
+executed through a :class:`repro.pipeline.runner.BatchRunner`.  The default
+runner is serial and cache-less, which reproduces the historical in-process
+behaviour bit for bit; pass ``runner=BatchRunner(max_workers=8,
+cache_dir=...)`` to any sweep to fan it across processes and reuse cached
+points (the ``repro batch`` CLI does exactly that).
 """
 
 from __future__ import annotations
 
-import math
-import time
 from typing import Sequence
 
 from repro.baseline.naive import BaselineCompiler
 from repro.core.compiler import EmitterCompiler
 from repro.core.config import CompilerConfig
-from repro.core.partition import GraphPartitioner
-from repro.evaluation.experiments import ComparisonPoint, fast_config, run_comparison
+from repro.evaluation.experiments import (
+    fast_config,
+    loss_improvement_factor,
+    reduction_percent,
+    run_comparison,
+    run_sweep,
+    sweep_jobs,
+)
 from repro.evaluation.report import FigureData
-from repro.graphs.generators import benchmark_graph, linear_cluster, waxman_graph
+from repro.graphs.generators import benchmark_graph
 from repro.graphs.graph_state import GraphState
+from repro.pipeline.runner import BatchRunner
 
 __all__ = [
     "DEFAULT_SIZES",
@@ -43,10 +55,6 @@ DEFAULT_SIZES: dict[str, tuple[int, ...]] = {
 }
 
 
-def _graph_for(family: str, size: int, seed: int) -> GraphState:
-    return benchmark_graph(family, size, seed=seed)
-
-
 def _positive_mean(values: Sequence[float]) -> float:
     values = list(values)
     if not values:
@@ -64,6 +72,7 @@ def figure10_cnot(
     sizes: Sequence[int] | None = None,
     seed: int = 11,
     config: CompilerConfig | None = None,
+    runner: BatchRunner | None = None,
 ) -> FigureData:
     """#emitter-emitter CNOTs, framework vs baseline (Fig. 10 a-c)."""
     sizes = list(sizes) if sizes is not None else list(DEFAULT_SIZES[family])
@@ -75,19 +84,44 @@ def figure10_cnot(
         ),
         columns=["num_qubits", "baseline_cnot", "ours_cnot", "reduction_percent"],
     )
-    reductions = []
-    for offset, size in enumerate(sizes):
-        graph = _graph_for(family, size, seed + offset)
-        point = run_comparison(graph, config=config)
-        data.add_row(
-            [
-                graph.num_vertices,
+    if config is not None:
+        # An explicit CompilerConfig may carry live objects a picklable job
+        # description cannot; honour it with the in-process primitive.
+        points = [
+            (
+                run_comparison(
+                    benchmark_graph(family, size, seed=seed + offset), config=config
+                )
+            )
+            for offset, size in enumerate(sizes)
+        ]
+        rows = [
+            (
+                point.num_qubits,
                 point.baseline_cnots,
                 point.ours_cnots,
                 point.cnot_reduction_percent,
-            ]
-        )
-        reductions.append(point.cnot_reduction_percent)
+            )
+            for point in points
+        ]
+    else:
+        report = run_sweep(sweep_jobs(family, sizes, seed=seed), runner=runner)
+        rows = [
+            (
+                record["num_qubits"],
+                record["baseline"]["num_emitter_emitter_cnots"],
+                record["ours"]["num_emitter_emitter_cnots"],
+                reduction_percent(
+                    record["baseline"]["num_emitter_emitter_cnots"],
+                    record["ours"]["num_emitter_emitter_cnots"],
+                ),
+            )
+            for record in report.results
+        ]
+    reductions = []
+    for row in rows:
+        data.add_row(list(row))
+        reductions.append(row[3])
     data.summary = {
         "average_reduction_percent": _positive_mean(reductions),
         "maximum_reduction_percent": max(reductions, default=0.0),
@@ -105,6 +139,7 @@ def figure10_duration(
     sizes: Sequence[int] | None = None,
     factors: Sequence[float] = (1.5, 2.0),
     seed: int = 11,
+    runner: BatchRunner | None = None,
 ) -> FigureData:
     """Circuit duration (in tau_QD) under N_e^limit = factor * N_e^min (Fig. 10 d-f)."""
     sizes = list(sizes) if sizes is not None else list(DEFAULT_SIZES[family])
@@ -126,23 +161,27 @@ def figure10_duration(
         ),
         columns=columns,
     )
+    jobs = [
+        job
+        for factor in factors
+        for job in sweep_jobs(
+            family, sizes, kind="duration", seed=seed, emitter_limit_factor=factor
+        )
+    ]
+    report = run_sweep(jobs, runner=runner)
     per_factor_reductions: dict[float, list[float]] = {f: [] for f in factors}
-    for offset, size in enumerate(sizes):
-        graph = _graph_for(family, size, seed + offset)
-        row: list[object] = [graph.num_vertices]
-        for factor in factors:
-            config = fast_config(emitter_limit_factor=factor)
-            ours = EmitterCompiler(config).compile(graph)
-            baseline_limit = max(1, math.ceil(factor * ours.minimum_emitters))
-            baseline = BaselineCompiler(
-                hardware=config.hardware, emitter_limit=baseline_limit
-            ).compile(graph)
-            reduction = 0.0
-            if baseline.metrics.duration > 0:
-                reduction = 100.0 * (
-                    baseline.metrics.duration - ours.metrics.duration
-                ) / baseline.metrics.duration
-            row.extend([baseline.metrics.duration, ours.metrics.duration, reduction])
+    # Jobs are ordered factor-major, size-minor; rows are size-major.  Index
+    # arithmetic (not a dict) keeps duplicate sweep sizes as distinct points.
+    for size_index, size in enumerate(sizes):
+        row: list[object] = []
+        for factor_index, factor in enumerate(factors):
+            record = report.results[factor_index * len(sizes) + size_index]
+            if not row:
+                row.append(record["num_qubits"])
+            baseline_duration = record["baseline"]["duration"]
+            ours_duration = record["ours"]["duration"]
+            reduction = reduction_percent(baseline_duration, ours_duration)
+            row.extend([baseline_duration, ours_duration, reduction])
             per_factor_reductions[factor].append(reduction)
         data.add_row(row)
     data.summary = {}
@@ -165,6 +204,7 @@ def figure11_loss(
     families: Sequence[str] = ("lattice", "tree", "random"),
     sizes: dict[str, Sequence[int]] | None = None,
     seed: int = 11,
+    runner: BatchRunner | None = None,
 ) -> FigureData:
     """State photon-loss probability, baseline vs framework (Fig. 11 a).
 
@@ -191,21 +231,21 @@ def figure11_loss(
             list(sizes[family]) if sizes is not None and family in sizes
             else list(DEFAULT_SIZES[family])
         )
-        for offset, size in enumerate(family_sizes):
-            graph = _graph_for(family, size, seed + offset)
-            point = run_comparison(graph, config=fast_config(emitter_limit_factor=1.5))
+        report = run_sweep(sweep_jobs(family, family_sizes, seed=seed), runner=runner)
+        for record in report.results:
+            baseline_loss = float(record["baseline"]["photon_loss_probability"] or 0.0)
+            ours_loss = float(record["ours"]["photon_loss_probability"] or 0.0)
+            improvement = loss_improvement_factor(baseline_loss, ours_loss)
             data.add_row(
                 [
                     family,
-                    graph.num_vertices,
-                    point.baseline_loss,
-                    point.ours_loss,
-                    point.loss_improvement_factor,
+                    record["num_qubits"],
+                    baseline_loss,
+                    ours_loss,
+                    improvement,
                 ]
             )
-            factors_per_family.setdefault(family, []).append(
-                point.loss_improvement_factor
-            )
+            factors_per_family.setdefault(family, []).append(improvement)
     data.summary = {
         f"average_improvement_{family}": _positive_mean(values)
         for family, values in factors_per_family.items()
@@ -222,6 +262,7 @@ def figure11_lc_edges(
     sizes: Sequence[int] = (10, 15, 20, 25, 30),
     seed: int = 11,
     lc_budget: int = 15,
+    runner: BatchRunner | None = None,
 ) -> FigureData:
     """Average number of inter-subgraph edges with and without LC (Fig. 11 b)."""
     data = FigureData(
@@ -232,18 +273,25 @@ def figure11_lc_edges(
         ),
         columns=["num_qubits", "stem_edges_no_lc", "stem_edges_with_lc", "reduction"],
     )
+    jobs = sweep_jobs(
+        "waxman",
+        sizes,
+        kind="lc_stem_edges",
+        seed=seed,
+        config_overrides=(("lc_budget", lc_budget),),
+    )
+    report = run_sweep(jobs, runner=runner)
     reductions = []
-    for offset, size in enumerate(sizes):
-        graph = waxman_graph(size, seed=seed + offset)
-        without = GraphPartitioner(fast_config().with_overrides(lc_budget=0)).partition(graph)
-        with_lc = GraphPartitioner(
-            fast_config().with_overrides(lc_budget=lc_budget)
-        ).partition(graph)
-        reduction = without.num_stem_edges - with_lc.num_stem_edges
+    for record in report.results:
         data.add_row(
-            [graph.num_vertices, without.num_stem_edges, with_lc.num_stem_edges, reduction]
+            [
+                record["num_qubits"],
+                record["stem_edges_no_lc"],
+                record["stem_edges_with_lc"],
+                record["stem_edge_reduction"],
+            ]
         )
-        reductions.append(reduction)
+        reductions.append(record["stem_edge_reduction"])
     data.summary = {
         "average_stem_edge_reduction": _positive_mean(reductions),
         "total_stem_edge_reduction": float(sum(reductions)),
@@ -259,7 +307,12 @@ def figure11_lc_edges(
 def figure5_emitter_usage(
     graph: GraphState | None = None, seed: int = 11
 ) -> FigureData:
-    """Emitter-usage-over-time curve of a generation circuit (Fig. 5)."""
+    """Emitter-usage-over-time curve of a generation circuit (Fig. 5).
+
+    A single comparison point (not a sweep), so it runs in-process rather
+    than through the batch pipeline: the emitter-usage *curve* needs the live
+    schedule object, not just scalar metrics.
+    """
     if graph is None:
         graph = benchmark_graph("lattice", 12, seed=seed)
     baseline = BaselineCompiler().compile(graph)
@@ -291,27 +344,24 @@ def figure5_emitter_usage(
 
 def runtime_scaling(
     sizes: Sequence[int] = (10, 20, 40, 60),
+    runner: BatchRunner | None = None,
 ) -> FigureData:
     """Compiler wall-clock time on linear cluster states of growing size.
 
     The paper motivates the framework with GraphiQ's runtime exceeding 1000 s
     for linear clusters beyond 10 qubits; this sweep records how the
-    divide-and-conquer compiler scales on the same family.
+    divide-and-conquer compiler scales on the same family.  With a caching
+    runner, timings of cached points are those of the run that produced them.
     """
     data = FigureData(
         name="runtime_scaling_linear_cluster",
         description="Compile time (seconds) of the framework and the baseline on linear clusters.",
         columns=["num_qubits", "ours_seconds", "baseline_seconds"],
     )
-    for size in sizes:
-        graph = linear_cluster(size)
-        start = time.perf_counter()
-        EmitterCompiler(fast_config()).compile(graph)
-        ours_elapsed = time.perf_counter() - start
-        start = time.perf_counter()
-        BaselineCompiler().compile(graph)
-        baseline_elapsed = time.perf_counter() - start
-        data.add_row([size, ours_elapsed, baseline_elapsed])
+    jobs = sweep_jobs("linear", sizes)
+    report = run_sweep(jobs, runner=runner)
+    for size, record in zip(sizes, report.results):
+        data.add_row([size, record["seconds_ours"], record["seconds_baseline"]])
     ours_column = [float(v) for v in data.column("ours_seconds")]
     data.summary = {"max_ours_seconds": max(ours_column, default=0.0)}
     return data

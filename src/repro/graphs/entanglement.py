@@ -28,11 +28,15 @@ __all__ = ["cut_rank", "height_function", "minimum_emitters"]
 Vertex = Hashable
 
 
-def cut_rank(graph: GraphState, subset: Iterable[Vertex]) -> int:
+def cut_rank(
+    graph: GraphState, subset: Iterable[Vertex], backend: str | None = None
+) -> int:
     """GF(2) rank of the bipartite adjacency matrix between ``subset`` and the rest.
 
     Equals the entanglement entropy (in bits) of the graph state across the
-    cut.  Vertices in ``subset`` must belong to the graph.
+    cut.  Vertices in ``subset`` must belong to the graph.  ``backend``
+    selects the GF(2) kernel implementation (``None`` = process default; see
+    :mod:`repro.utils.backend`).
     """
     subset_list = list(dict.fromkeys(subset))
     subset_set = set(subset_list)
@@ -49,10 +53,14 @@ def cut_rank(graph: GraphState, subset: Iterable[Vertex]) -> int:
             j = complement_index.get(w)
             if j is not None:
                 matrix[i, j] = 1
-    return gf2_rank(matrix)
+    return gf2_rank(matrix, backend=backend)
 
 
-def height_function(graph: GraphState, ordering: Sequence[Vertex] | None = None) -> list[int]:
+def height_function(
+    graph: GraphState,
+    ordering: Sequence[Vertex] | None = None,
+    backend: str | None = None,
+) -> list[int]:
     """The height function ``h(i)`` of the graph for an emission ordering.
 
     ``h(i)`` is the cut rank of the first ``i`` photons of ``ordering``
@@ -66,12 +74,14 @@ def height_function(graph: GraphState, ordering: Sequence[Vertex] | None = None)
         raise ValueError("ordering must be a permutation of the graph's vertices")
     heights = [0]
     for i in range(1, len(ordering) + 1):
-        heights.append(cut_rank(graph, ordering[:i]))
+        heights.append(cut_rank(graph, ordering[:i], backend=backend))
     return heights
 
 
 def minimum_emitters(
-    graph: GraphState, ordering: Sequence[Vertex] | None = None
+    graph: GraphState,
+    ordering: Sequence[Vertex] | None = None,
+    backend: str | None = None,
 ) -> int:
     """Minimal number of emitters for a deterministic emission protocol.
 
@@ -83,5 +93,5 @@ def minimum_emitters(
     """
     if graph.num_vertices == 0:
         return 0
-    peak = max(height_function(graph, ordering))
+    peak = max(height_function(graph, ordering, backend=backend))
     return max(peak, 1)

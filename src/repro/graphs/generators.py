@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import math
 
-import networkx as nx
 import numpy as np
 
 from repro.graphs.graph_state import GraphState

@@ -19,7 +19,6 @@ retargetable by swapping the configuration only.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.circuit.timing import GateDurations

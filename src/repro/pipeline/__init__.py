@@ -1,0 +1,34 @@
+"""Batch-compilation pipeline.
+
+The evaluation harness — and anyone sweeping compiler configurations at
+scale — always runs the same primitive many times: *build a benchmark graph,
+compile it (framework and/or baseline), collect metrics*.  This subpackage
+turns that primitive into declarative, picklable job descriptions and runs
+lists of them through a process pool with content-addressed result caching:
+
+* :mod:`repro.pipeline.jobs` — :class:`GraphSpec` / :class:`BatchJob`
+  descriptions plus the pure worker function :func:`run_job`;
+* :mod:`repro.pipeline.cache` — a JSON file cache keyed by the SHA-256 hash
+  of the job description, so re-running a sweep only pays for new jobs;
+* :mod:`repro.pipeline.runner` — :class:`BatchRunner`, which fans jobs across
+  a :class:`concurrent.futures.ProcessPoolExecutor` (or runs them serially)
+  and returns a :class:`BatchReport` with per-job metrics, cache-hit counts
+  and error capture.
+
+The figure sweeps in :mod:`repro.evaluation.figures` are built on this
+pipeline, and the ``repro batch`` CLI subcommand exposes it directly.
+"""
+
+from repro.pipeline.cache import ResultCache
+from repro.pipeline.jobs import BatchJob, GraphSpec, run_job
+from repro.pipeline.runner import BatchReport, BatchRunner, JobOutcome
+
+__all__ = [
+    "BatchJob",
+    "BatchReport",
+    "BatchRunner",
+    "GraphSpec",
+    "JobOutcome",
+    "ResultCache",
+    "run_job",
+]

@@ -1,0 +1,89 @@
+"""Content-addressed JSON result cache for batch jobs.
+
+Each cached entry is one JSON file named after the job's SHA-256 content
+hash.  The cache is deliberately dumb — no locking, no eviction — because
+entries are immutable (a key never maps to two different results, by
+construction of the content hash) and writes are atomic (``os.replace`` of a
+temp file), so concurrent workers can only ever race to write identical
+bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A directory of ``<content-hash>.json`` job results.
+
+    Args:
+        cache_dir: directory to store entries in (created on first write).
+
+    Attributes:
+        hits: number of successful :meth:`get` lookups.
+        misses: number of :meth:`get` lookups that found nothing.
+    """
+
+    def __init__(self, cache_dir: str | Path):
+        self.cache_dir = Path(cache_dir)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        if not key or any(ch in key for ch in "/\\"):
+            raise ValueError(f"invalid cache key {key!r}")
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Return the cached result for ``key``, or ``None``.
+
+        Unreadable or corrupt entries count as misses (and are left in place
+        for post-mortem inspection; the pipeline simply recomputes them).
+        """
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            result = entry["result"]
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: dict) -> None:
+        """Store ``result`` under ``key`` atomically."""
+        path = self._path(key)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"key": key, "result": result}, sort_keys=True)
+        fd, temp_name = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.cache_dir.is_dir():
+            return 0
+        # "[!.]*" keeps orphaned ".tmp-*" files (from killed writers) out of
+        # the count; pathlib's glob, unlike the shell's, matches dotfiles.
+        return sum(1 for _ in self.cache_dir.glob("[!.]*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache(dir={str(self.cache_dir)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

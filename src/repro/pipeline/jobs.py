@@ -1,0 +1,262 @@
+"""Declarative compilation jobs and the worker that executes them.
+
+A :class:`BatchJob` is a frozen, picklable, JSON-serialisable description of
+one compilation experiment.  Jobs never carry live objects (graphs, configs,
+hardware models) — only the recipe to rebuild them — so they can cross
+process boundaries cheaply and their SHA-256 content hash identifies the
+result for caching.
+
+Job kinds:
+
+* ``"comparison"`` — compile with the framework *and* the GraphiQ-like
+  baseline under identical hardware assumptions; record the three
+  hardware-aware metrics (#emitter-emitter CNOTs, duration, photon loss) and
+  the wall-clock time of each compiler.
+* ``"compile"`` — framework only; record the full result summary.
+* ``"duration"`` — the Fig. 10(d-f) primitive: framework under
+  ``N_e^limit = factor * N_e^min``, baseline under the matching explicit
+  emitter cap.
+* ``"lc_stem_edges"`` — the Fig. 11(b) primitive: partition with and without
+  the local-complementation budget and count stem edges.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field, replace
+
+from repro.graphs.generators import (
+    benchmark_graph,
+    complete_graph,
+    linear_cluster,
+    repeater_graph_state,
+    ring_graph,
+    star_graph,
+    waxman_graph,
+)
+from repro.graphs.graph_state import GraphState
+from repro.hardware.models import get_hardware_model
+from repro.utils.backend import BACKENDS
+
+__all__ = ["GraphSpec", "BatchJob", "JOB_KINDS", "run_job"]
+
+#: Graph families a :class:`GraphSpec` can rebuild.
+GRAPH_FAMILIES = (
+    "lattice",
+    "tree",
+    "random",
+    "waxman",
+    "linear",
+    "ring",
+    "star",
+    "complete",
+    "repeater",
+)
+
+JOB_KINDS = ("comparison", "compile", "duration", "lc_stem_edges")
+
+#: Bump when a change invalidates previously cached results (new metrics,
+#: changed semantics of an existing job kind, …).
+JOB_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """Recipe for one benchmark graph: ``(family, size, seed)``."""
+
+    family: str
+    size: int
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.family not in GRAPH_FAMILIES:
+            raise ValueError(
+                f"unknown graph family {self.family!r}; expected one of "
+                f"{GRAPH_FAMILIES}"
+            )
+        if self.size < 1:
+            raise ValueError(f"size must be positive, got {self.size}")
+
+    def build(self) -> GraphState:
+        """Construct the graph exactly as the evaluation harness would."""
+        if self.family in ("lattice", "tree", "random"):
+            return benchmark_graph(self.family, self.size, seed=self.seed)
+        if self.family == "waxman":
+            return waxman_graph(self.size, seed=self.seed)
+        if self.family == "linear":
+            return linear_cluster(self.size)
+        if self.family == "ring":
+            return ring_graph(self.size)
+        if self.family == "star":
+            return star_graph(self.size)
+        if self.family == "complete":
+            return complete_graph(self.size)
+        return repeater_graph_state(self.size)
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One unit of work for the batch pipeline.
+
+    Attributes:
+        graph: the target graph recipe.
+        kind: one of :data:`JOB_KINDS`.
+        emitter_limit_factor: the paper's ``N_e^limit / N_e^min`` knob.
+        hardware: hardware preset name (see
+            :func:`repro.hardware.models.get_hardware_model`).
+        backend: GF(2)/tableau backend pinned for this job (``None`` keeps
+            the worker process default).
+        verify: re-simulate compiled circuits on the stabilizer tableau.
+        config_overrides: extra :class:`repro.core.config.CompilerConfig`
+            fields applied on top of the fast benchmark profile, as a sorted
+            tuple of ``(name, value)`` pairs (kept hashable for caching).
+    """
+
+    graph: GraphSpec
+    kind: str = "comparison"
+    emitter_limit_factor: float = 1.5
+    hardware: str = "quantum_dot"
+    backend: str | None = None
+    verify: bool = False
+    config_overrides: tuple[tuple[str, object], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}"
+            )
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS} or None, got {self.backend!r}"
+            )
+        get_hardware_model(self.hardware)  # validate the preset name early
+        object.__setattr__(
+            self, "config_overrides", tuple(sorted(tuple(self.config_overrides)))
+        )
+
+    def with_overrides(self, **kwargs) -> "BatchJob":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable description of the job (stable key order)."""
+        data = asdict(self)
+        data["config_overrides"] = [list(pair) for pair in self.config_overrides]
+        data["schema_version"] = JOB_SCHEMA_VERSION
+        return data
+
+    @property
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical JSON description; the cache key."""
+        canonical = json.dumps(self.as_dict(), sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identifier used in reports and tables."""
+        return (
+            f"{self.kind}:{self.graph.family}-{self.graph.size}"
+            f"@{self.emitter_limit_factor}x#{self.graph.seed}"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Worker
+# --------------------------------------------------------------------------- #
+
+
+def _job_config(job: BatchJob):
+    """The fast benchmark profile of the evaluation harness, plus overrides."""
+    from repro.evaluation.experiments import fast_config
+
+    config = fast_config(
+        emitter_limit_factor=job.emitter_limit_factor,
+        hardware=get_hardware_model(job.hardware),
+        verify=job.verify,
+    )
+    overrides = dict(job.config_overrides)
+    overrides.setdefault("gf2_backend", job.backend)
+    return config.with_overrides(**overrides)
+
+
+def _timed_compile(compiler, graph) -> tuple[object, float]:
+    start = time.perf_counter()
+    result = compiler.compile(graph)
+    return result, time.perf_counter() - start
+
+
+def run_job(job: BatchJob) -> dict:
+    """Execute one job and return its JSON-serialisable result record.
+
+    This function is pure apart from wall-clock timing fields (prefixed
+    ``seconds_``): the metric fields of the record are a deterministic
+    function of the job description, which is what makes content-hash caching
+    sound.  It is defined at module level so that
+    :class:`concurrent.futures.ProcessPoolExecutor` can pickle it.
+    """
+    from repro.baseline.naive import BaselineCompiler
+    from repro.core.compiler import EmitterCompiler
+    from repro.core.partition import GraphPartitioner
+    from repro.utils.backend import use_backend
+
+    graph = job.graph.build()
+    config = _job_config(job)
+    record: dict = {
+        "job": job.as_dict(),
+        "label": job.label,
+        "num_qubits": graph.num_vertices,
+        "num_edges": graph.num_edges,
+    }
+
+    if job.kind in ("comparison", "compile"):
+        ours, ours_seconds = _timed_compile(EmitterCompiler(config), graph)
+        record["ours"] = ours.summary()
+        record["seconds_ours"] = ours_seconds
+        if job.kind == "comparison":
+            with use_backend(config.gf2_backend):
+                baseline, baseline_seconds = _timed_compile(
+                    BaselineCompiler(hardware=config.hardware, verify=job.verify),
+                    graph,
+                )
+            record["baseline"] = baseline.metrics.as_dict()
+            record["seconds_baseline"] = baseline_seconds
+        return record
+
+    if job.kind == "duration":
+        import math
+
+        ours, ours_seconds = _timed_compile(EmitterCompiler(config), graph)
+        baseline_limit = max(
+            1, math.ceil(job.emitter_limit_factor * ours.minimum_emitters)
+        )
+        with use_backend(config.gf2_backend):
+            baseline, baseline_seconds = _timed_compile(
+                BaselineCompiler(
+                    hardware=config.hardware, emitter_limit=baseline_limit
+                ),
+                graph,
+            )
+        record["ours"] = ours.summary()
+        record["baseline"] = baseline.metrics.as_dict()
+        record["baseline_emitter_limit"] = baseline_limit
+        record["seconds_ours"] = ours_seconds
+        record["seconds_baseline"] = baseline_seconds
+        return record
+
+    # kind == "lc_stem_edges"
+    with use_backend(config.gf2_backend):
+        start = time.perf_counter()
+        without_lc = GraphPartitioner(config.with_overrides(lc_budget=0)).partition(
+            graph
+        )
+        with_lc = GraphPartitioner(config).partition(graph)
+        elapsed = time.perf_counter() - start
+    record["stem_edges_no_lc"] = without_lc.num_stem_edges
+    record["stem_edges_with_lc"] = with_lc.num_stem_edges
+    record["stem_edge_reduction"] = (
+        without_lc.num_stem_edges - with_lc.num_stem_edges
+    )
+    record["seconds_partition"] = elapsed
+    return record

@@ -28,7 +28,7 @@ far is returned and flagged as ``FEASIBLE`` rather than ``OPTIMAL``.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "MIPStatus",

@@ -5,6 +5,13 @@ if and only if their stabilizer groups coincide, *including generator signs*.
 The functions here bring a set of signed Pauli generators into a unique
 reduced row echelon form under row multiplication (which is what "adding"
 rows means for Pauli groups), so equality becomes an array comparison.
+
+The canonicalisation runs on either GF(2) backend (see
+:mod:`repro.utils.backend`): the dense path mirrors the original
+``uint8``-matrix Gauss–Jordan elimination with a Python sign loop per row
+multiplication, while the packed path works on ``np.uint64`` words and
+multiplies all rows of a pivot column at once with popcount-based sign
+bookkeeping.  Both produce the identical canonical matrix.
 """
 
 from __future__ import annotations
@@ -12,6 +19,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.stabilizer.tableau import StabilizerState
+from repro.utils.backend import PACKED, resolve_backend
+from repro.utils.gf2_packed import pauli_phase_terms, unpack_matrix
 
 __all__ = ["canonical_stabilizer_matrix", "states_equal"]
 
@@ -32,15 +41,7 @@ def _multiply_rows(
     z[target] ^= z[source]
 
 
-def canonical_stabilizer_matrix(state: StabilizerState) -> np.ndarray:
-    """Return the canonical ``(n, 2n + 1)`` generator matrix of ``state``.
-
-    The canonicalisation performs Gauss–Jordan elimination over the symplectic
-    representation with the column order ``X_0..X_{n-1}, Z_0..Z_{n-1}``, using
-    Pauli row multiplication so that the signs stay consistent.  The output is
-    unique for a given stabilizer group, which makes it usable as a state
-    fingerprint.
-    """
+def _canonicalise_dense(state: StabilizerState) -> np.ndarray:
     n = state.num_qubits
     x = state.x[n:].copy()
     z = state.z[n:].copy()
@@ -75,8 +76,91 @@ def canonical_stabilizer_matrix(state: StabilizerState) -> np.ndarray:
     return np.concatenate([x, z, r.reshape(-1, 1)], axis=1).astype(np.uint8)
 
 
-def states_equal(state_a: StabilizerState, state_b: StabilizerState) -> bool:
+def _multiply_rows_packed(
+    x_words: np.ndarray,
+    z_words: np.ndarray,
+    r: np.ndarray,
+    targets: np.ndarray,
+    source: int,
+) -> None:
+    """Multiply every Pauli row in ``targets`` by row ``source`` in place."""
+    phases = (
+        2 * r[targets].astype(np.int64)
+        + 2 * int(r[source])
+        + pauli_phase_terms(
+            x_words[source], z_words[source], x_words[targets], z_words[targets]
+        )
+    ) % 4
+    r[targets] = (phases == 2).astype(np.uint8)
+    x_words[targets] ^= x_words[source]
+    z_words[targets] ^= z_words[source]
+
+
+def _canonicalise_packed(state: StabilizerState) -> np.ndarray:
+    n = state.num_qubits
+    x_words, z_words, r = state.packed_stabilizer_rows()
+
+    pivot_row = 0
+    for col in range(2 * n):
+        if pivot_row >= n:
+            break
+        words = x_words if col < n else z_words
+        word, bit = divmod(col % n, 64)
+        column = ((words[:, word] >> np.uint64(bit)) & np.uint64(1)).astype(np.uint8)
+        candidates = np.nonzero(column[pivot_row:])[0]
+        if candidates.size == 0:
+            continue
+        pivot = pivot_row + int(candidates[0])
+        if pivot != pivot_row:
+            x_words[[pivot_row, pivot]] = x_words[[pivot, pivot_row]]
+            z_words[[pivot_row, pivot]] = z_words[[pivot, pivot_row]]
+            r[[pivot_row, pivot]] = r[[pivot, pivot_row]]
+            column[[pivot_row, pivot]] = column[[pivot, pivot_row]]
+        targets = np.nonzero(column)[0]
+        targets = targets[targets != pivot_row]
+        if targets.size:
+            _multiply_rows_packed(x_words, z_words, r, targets, pivot_row)
+        pivot_row += 1
+
+    return np.concatenate(
+        [
+            unpack_matrix(x_words, n),
+            unpack_matrix(z_words, n),
+            r.reshape(-1, 1),
+        ],
+        axis=1,
+    ).astype(np.uint8)
+
+
+def canonical_stabilizer_matrix(
+    state: StabilizerState, backend: str | None = None
+) -> np.ndarray:
+    """Return the canonical ``(n, 2n + 1)`` generator matrix of ``state``.
+
+    The canonicalisation performs Gauss–Jordan elimination over the symplectic
+    representation with the column order ``X_0..X_{n-1}, Z_0..Z_{n-1}``, using
+    Pauli row multiplication so that the signs stay consistent.  The output is
+    unique for a given stabilizer group, which makes it usable as a state
+    fingerprint.
+
+    ``backend=None`` follows the backend of ``state`` itself, so packed states
+    are canonicalised without ever unpacking their tableau.
+    """
+    chosen = resolve_backend(backend if backend is not None else state.backend)
+    if chosen == PACKED:
+        return _canonicalise_packed(state)
+    return _canonicalise_dense(state)
+
+
+def states_equal(
+    state_a: StabilizerState,
+    state_b: StabilizerState,
+    backend: str | None = None,
+) -> bool:
     """Exact equality of two stabilizer states (up to global phase).
+
+    The states may live on different tableau backends; canonical matrices are
+    backend-independent, so the comparison is still exact.
 
     Raises:
         ValueError: when the states have different qubit counts.
@@ -88,7 +172,7 @@ def states_equal(state_a: StabilizerState, state_b: StabilizerState) -> bool:
         )
     return bool(
         np.array_equal(
-            canonical_stabilizer_matrix(state_a),
-            canonical_stabilizer_matrix(state_b),
+            canonical_stabilizer_matrix(state_a, backend=backend),
+            canonical_stabilizer_matrix(state_b, backend=backend),
         )
     )

@@ -2,13 +2,24 @@
 
 This subpackage intentionally contains only dependency-free building blocks:
 
-* :mod:`repro.utils.gf2` — dense linear algebra over the two-element field
-  GF(2), used by the entanglement/height-function computations and by the
-  stabilizer canonicalisation routines.
+* :mod:`repro.utils.gf2` — linear algebra over the two-element field GF(2),
+  used by the entanglement/height-function computations and by the
+  stabilizer canonicalisation routines; every function accepts a
+  ``backend=`` argument.
+* :mod:`repro.utils.gf2_packed` — the ``np.uint64`` word-packed kernels
+  behind ``backend="packed"`` (bit-exact with the dense oracle).
+* :mod:`repro.utils.backend` — selection of the process-wide default backend
+  (``REPRO_GF2_BACKEND``, :func:`set_default_backend`, :func:`use_backend`).
 * :mod:`repro.utils.misc` — small helpers (argument validation, pairing
   utilities, deterministic RNG construction) used throughout the package.
 """
 
+from repro.utils.backend import (
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.utils.gf2 import (
     gf2_gaussian_elimination,
     gf2_matmul,
@@ -26,6 +37,10 @@ from repro.utils.misc import (
 )
 
 __all__ = [
+    "get_default_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
     "gf2_gaussian_elimination",
     "gf2_matmul",
     "gf2_nullspace",

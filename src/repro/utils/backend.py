@@ -1,0 +1,114 @@
+"""Selection of the GF(2) compute backend.
+
+Two backends implement the exact binary-field kernels that the compiler's hot
+paths (cut rank, stabilizer canonicalisation, circuit verification) run on:
+
+* ``"dense"`` — the original ``uint8`` implementation in
+  :mod:`repro.utils.gf2`.  Simple, thoroughly tested, and kept as the oracle
+  that the fast path is checked against.
+* ``"packed"`` — the word-packed implementation in
+  :mod:`repro.utils.gf2_packed`: rows live in ``np.uint64`` words, row
+  elimination is XOR of machine words and ranks come out of popcounts.  It is
+  bit-exact with the dense backend and several times faster from a few
+  hundred columns on.
+
+The process-wide default is ``"packed"`` and can be pinned with the
+``REPRO_GF2_BACKEND`` environment variable, :func:`set_default_backend`, or
+temporarily with the :func:`use_backend` context manager.  Every public
+function that consumes a backend also accepts an explicit ``backend=``
+argument which takes precedence over the default.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "BACKENDS",
+    "DENSE",
+    "PACKED",
+    "get_default_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+]
+
+DENSE = "dense"
+PACKED = "packed"
+
+#: All recognised backend names.
+BACKENDS = (DENSE, PACKED)
+
+
+def _initial_backend() -> str:
+    raw = os.environ.get("REPRO_GF2_BACKEND")
+    if raw is None:
+        return PACKED
+    value = raw.strip().lower()
+    if value not in BACKENDS:
+        import warnings
+
+        warnings.warn(
+            f"ignoring unrecognised REPRO_GF2_BACKEND={raw!r}; "
+            f"expected one of {BACKENDS}, using {PACKED!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return PACKED
+    return value
+
+
+_default_backend: str = _initial_backend()
+
+
+def get_default_backend() -> str:
+    """Return the process-wide default backend name."""
+    return _default_backend
+
+
+def set_default_backend(backend: str) -> str:
+    """Set the process-wide default backend; returns the previous default.
+
+    Raises:
+        ValueError: if ``backend`` is not a recognised backend name.
+    """
+    global _default_backend
+    previous = _default_backend
+    _default_backend = resolve_backend(backend)
+    return previous
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Normalise a ``backend=`` argument: ``None`` means the current default.
+
+    Raises:
+        ValueError: if ``backend`` is neither ``None`` nor a recognised name.
+    """
+    if backend is None:
+        return _default_backend
+    name = str(backend).strip().lower()
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown GF(2) backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return name
+
+
+@contextmanager
+def use_backend(backend: str | None) -> Iterator[str]:
+    """Temporarily switch the default backend within a ``with`` block.
+
+    ``None`` keeps the current default (the context manager is then a no-op),
+    which lets callers write ``with use_backend(config.gf2_backend): ...``
+    without special-casing unset configuration.
+    """
+    if backend is None:
+        yield _default_backend
+        return
+    previous = set_default_backend(backend)
+    try:
+        yield _default_backend
+    finally:
+        set_default_backend(previous)

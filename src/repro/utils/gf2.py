@@ -1,4 +1,4 @@
-"""Dense linear algebra over GF(2).
+"""Linear algebra over GF(2) with a dense/packed backend switch.
 
 The compiler needs a handful of exact binary-field operations:
 
@@ -11,11 +11,28 @@ The compiler needs a handful of exact binary-field operations:
 
 Everything here operates on ``numpy`` arrays with ``dtype=np.uint8`` holding
 0/1 entries.  Inputs are copied; functions never mutate their arguments.
+
+Two interchangeable implementations back the public functions:
+
+* ``backend="dense"`` — the straightforward ``uint8`` Gaussian elimination
+  defined in this module, kept as the oracle;
+* ``backend="packed"`` — the ``np.uint64`` word-packed kernels of
+  :mod:`repro.utils.gf2_packed`, bit-exact with the dense path and several
+  times faster from a few hundred columns on.
+
+``backend=None`` (the default everywhere) defers to
+:func:`repro.utils.backend.get_default_backend`.
+:func:`gf2_gaussian_elimination` is the one dense-only exception: its
+non-reduced echelon output depends on the elimination order and is therefore
+not canonical, so only the dense implementation defines it.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.utils.backend import PACKED, resolve_backend
+from repro.utils import gf2_packed
 
 __all__ = [
     "gf2_gaussian_elimination",
@@ -71,13 +88,17 @@ def gf2_gaussian_elimination(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]
     return mat, pivot_cols
 
 
-def gf2_rref(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]:
+def gf2_rref(
+    matrix: np.ndarray, backend: str | None = None
+) -> tuple[np.ndarray, list[int]]:
     """Compute the *reduced* row echelon form of ``matrix`` over GF(2).
 
     Returns:
         ``(rref, pivot_columns)``; rows above each pivot are cleared as well,
         so the result is unique for a given row space.
     """
+    if resolve_backend(backend) == PACKED:
+        return gf2_packed.packed_gf2_rref(matrix)
     mat, pivot_cols = gf2_gaussian_elimination(matrix)
     for row_index, col in enumerate(pivot_cols):
         above = np.nonzero(mat[:row_index, col])[0]
@@ -86,13 +107,15 @@ def gf2_rref(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]:
     return mat, pivot_cols
 
 
-def gf2_rank(matrix: np.ndarray) -> int:
+def gf2_rank(matrix: np.ndarray, backend: str | None = None) -> int:
     """Return the rank of ``matrix`` over GF(2).
 
     The rank of the adjacency submatrix between a vertex subset ``A`` and its
     complement is the *cut rank* of ``A`` and equals the bipartite
     entanglement entropy (in bits) of the graph state across that cut.
     """
+    if resolve_backend(backend) == PACKED:
+        return gf2_packed.packed_gf2_rank(matrix)
     mat = _as_gf2(matrix)
     if mat.size == 0:
         return 0
@@ -100,8 +123,12 @@ def gf2_rank(matrix: np.ndarray) -> int:
     return len(pivots)
 
 
-def gf2_matmul(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+def gf2_matmul(
+    left: np.ndarray, right: np.ndarray, backend: str | None = None
+) -> np.ndarray:
     """Multiply two GF(2) matrices and reduce the product modulo 2."""
+    if resolve_backend(backend) == PACKED:
+        return gf2_packed.packed_gf2_matmul(left, right)
     left_m = _as_gf2(left)
     right_m = _as_gf2(right)
     if left_m.shape[1] != right_m.shape[0]:
@@ -112,17 +139,22 @@ def gf2_matmul(left: np.ndarray, right: np.ndarray) -> np.ndarray:
     return product.astype(np.uint8)
 
 
-def gf2_solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray | None:
+def gf2_solve(
+    matrix: np.ndarray, rhs: np.ndarray, backend: str | None = None
+) -> np.ndarray | None:
     """Solve ``matrix @ x = rhs`` over GF(2).
 
     Args:
         matrix: coefficient matrix of shape ``(m, n)``.
         rhs: right-hand-side vector of length ``m``.
+        backend: GF(2) backend override (``None`` = process default).
 
     Returns:
         One particular solution vector of length ``n`` (dtype uint8), or
         ``None`` when the system is inconsistent.
     """
+    if resolve_backend(backend) == PACKED:
+        return gf2_packed.packed_gf2_solve(matrix, rhs)
     mat = _as_gf2(matrix)
     vec = np.array(rhs, dtype=np.int64, copy=True).reshape(-1, 1) % 2
     if vec.shape[0] != mat.shape[0]:
@@ -139,13 +171,15 @@ def gf2_solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray | None:
     return solution
 
 
-def gf2_nullspace(matrix: np.ndarray) -> np.ndarray:
+def gf2_nullspace(matrix: np.ndarray, backend: str | None = None) -> np.ndarray:
     """Return a basis of the right nullspace of ``matrix`` over GF(2).
 
     Returns:
         An array of shape ``(k, n)`` whose rows form a basis of
         ``{x : matrix @ x = 0}``.  ``k`` may be zero.
     """
+    if resolve_backend(backend) == PACKED:
+        return gf2_packed.packed_gf2_nullspace(matrix)
     mat = _as_gf2(matrix)
     n_cols = mat.shape[1]
     reduced, pivots = gf2_rref(mat)

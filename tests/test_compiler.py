@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.baseline.naive import BaselineCompiler
 from repro.core.compiler import EmitterCompiler
 from repro.core.config import CompilerConfig
 from repro.graphs.generators import (

@@ -17,7 +17,6 @@ from repro.graphs.generators import (
     star_graph,
     waxman_graph,
 )
-from repro.graphs.graph_state import GraphState
 
 
 def verified(graph, **kwargs) -> bool:
