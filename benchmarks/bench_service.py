@@ -1,0 +1,49 @@
+"""Service throughput benchmark: loadgen against an in-process server.
+
+Starts a cached compilation server on a free loopback port, drives it twice
+with the closed-loop load generator and prints both reports.  The second run
+repeats the exact same workload, so it must be served (almost) entirely from
+the result cache — the benchmark asserts a >= 90% hit rate, which is the
+acceptance demo of the service: hot traffic costs disk reads, not compiles.
+
+Environment knobs (CI sets small values):
+
+* ``REPRO_BENCH_SERVICE_REQUESTS`` — total requests per run (default 32);
+* ``REPRO_BENCH_SERVICE_CONCURRENCY`` — worker threads (default 4).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.service.loadgen import run_loadgen, workload_payloads
+from repro.service.server import start_server
+
+REQUESTS = int(os.environ.get("REPRO_BENCH_SERVICE_REQUESTS", "32"))
+CONCURRENCY = int(os.environ.get("REPRO_BENCH_SERVICE_CONCURRENCY", "4"))
+
+
+def test_service_throughput_and_cache_hit_rate(tmp_path, capsys):
+    server, _ = start_server(cache_dir=str(tmp_path / "cache"))
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}"
+    payloads = workload_payloads(
+        ["lattice", "tree", "ghz", "surface"], [9], seeds=[11]
+    )
+    try:
+        cold = run_loadgen(url, payloads, requests=REQUESTS, concurrency=CONCURRENCY)
+        hot = run_loadgen(url, payloads, requests=REQUESTS, concurrency=CONCURRENCY)
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    with capsys.disabled():
+        print()
+        print(f"== service loadgen (cold cache, {REQUESTS} requests) ==")
+        print(cold.to_text())
+        print(f"== service loadgen (hot cache, {REQUESTS} requests) ==")
+        print(hot.to_text())
+
+    assert cold.ok and hot.ok
+    assert hot.cache_hit_rate >= 0.9
+    assert hot.latency_ms(50) <= cold.latency_ms(95) or hot.throughput_rps >= cold.throughput_rps

@@ -8,10 +8,10 @@ emitter-emitter CNOTs, circuit duration and accumulated photon loss.
 
 Quickstart::
 
-    from repro import EmitterCompiler, BaselineCompiler, lattice_graph
+    from repro import compile_graph, BaselineCompiler, lattice_graph
 
     graph = lattice_graph(4, 5)
-    ours = EmitterCompiler().compile(graph)
+    ours = compile_graph(graph)
     base = BaselineCompiler().compile(graph)
     print(ours.num_emitter_emitter_cnots, "vs", base.metrics.num_emitter_emitter_cnots)
 
@@ -40,6 +40,17 @@ or, from the shell (the figure sweeps use the same machinery)::
     repro batch --families lattice tree --sizes 10 20 30 \\
         --workers 4 --cache-dir .repro-cache
 
+Long-running traffic goes through the compilation service — an HTTP server
+(:mod:`repro.service`) that micro-batches concurrent requests onto the same
+pipeline and serves repeats from a persistent disk cache::
+
+    repro serve --port 8765 --cache-dir .repro-service-cache   # terminal 1
+    repro loadgen --url http://127.0.0.1:8765 \\
+        --families lattice surface --sizes 12 --requests 50    # terminal 2
+
+(the load generator prints throughput, p50/p95/p99 latency and the cache-hit
+rate; a second identical run is served almost entirely from cache).
+
 Public API highlights:
 
 * :class:`repro.core.compiler.EmitterCompiler` / :class:`repro.core.config.CompilerConfig`
@@ -54,6 +65,8 @@ Public API highlights:
   paper's evaluation.
 * :mod:`repro.pipeline` — the batch-compilation pipeline (jobs, process-pool
   runner, content-hash cache) behind the sweeps and ``repro batch``.
+* :mod:`repro.service` — the compilation server (``repro serve``), its
+  micro-batcher, HTTP client and load generator (``repro loadgen``).
 * :mod:`repro.utils.backend` / :mod:`repro.utils.gf2_packed` — the GF(2)
   backend switch and the word-packed kernels.
 """
@@ -67,19 +80,26 @@ from repro.circuit.validation import (
     validate_circuit_constraints,
     verify_circuit_generates,
 )
-from repro.core.compiler import CompilationResult, EmitterCompiler
+from repro.core.compiler import CompilationResult, EmitterCompiler, compile_graph
 from repro.core.config import CompilerConfig
 from repro.graphs.entanglement import cut_rank, height_function, minimum_emitters
 from repro.graphs.generators import (
     benchmark_graph,
     complete_graph,
+    erdos_renyi_graph,
+    ghz_graph,
     lattice_graph,
     linear_cluster,
+    percolated_lattice,
+    random_regular_graph,
     random_tree,
     repeater_graph_state,
     ring_graph,
+    rotated_surface_code_graph,
     star_graph,
+    steane_code_graph,
     tree_graph,
+    watts_strogatz_graph,
     waxman_graph,
 )
 from repro.graphs.graph_state import GraphState
@@ -95,6 +115,8 @@ from repro.hardware.models import (
 from repro.pipeline.cache import ResultCache
 from repro.pipeline.jobs import BatchJob, GraphSpec
 from repro.pipeline.runner import BatchReport, BatchRunner
+from repro.service.client import ServiceClient
+from repro.service.server import CompileServer, CompileService, start_server
 from repro.stabilizer.tableau import StabilizerState
 from repro.utils.backend import (
     get_default_backend,
@@ -102,7 +124,7 @@ from repro.utils.backend import (
     use_backend,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -119,19 +141,27 @@ __all__ = [
     "verify_circuit_generates",
     "CompilationResult",
     "EmitterCompiler",
+    "compile_graph",
     "CompilerConfig",
     "cut_rank",
     "height_function",
     "minimum_emitters",
     "benchmark_graph",
     "complete_graph",
+    "erdos_renyi_graph",
+    "ghz_graph",
     "lattice_graph",
     "linear_cluster",
+    "percolated_lattice",
+    "random_regular_graph",
     "random_tree",
     "repeater_graph_state",
     "ring_graph",
+    "rotated_surface_code_graph",
     "star_graph",
+    "steane_code_graph",
     "tree_graph",
+    "watts_strogatz_graph",
     "waxman_graph",
     "GraphState",
     "PhotonLossModel",
@@ -147,6 +177,10 @@ __all__ = [
     "BatchRunner",
     "GraphSpec",
     "ResultCache",
+    "ServiceClient",
+    "CompileServer",
+    "CompileService",
+    "start_server",
     "get_default_backend",
     "set_default_backend",
     "use_backend",

@@ -1,22 +1,34 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 * ``repro compile`` — compile one benchmark graph and print the circuit
   metrics (optionally the gate listing);
 * ``repro figure`` — regenerate one of the paper's figures and print the
   data table;
 * ``repro batch`` — run a whole sweep of compilation jobs through the batch
-  pipeline, optionally across processes and with content-hash result caching.
+  pipeline, optionally across processes and with content-hash result caching;
+* ``repro serve`` — run the long-running compilation server (HTTP + JSON,
+  micro-batching, persistent result cache);
+* ``repro loadgen`` — drive a server closed-loop and report throughput,
+  latency percentiles and the cache-hit rate.
 
 Examples::
 
+    repro --version
     repro compile --family lattice --size 20
     repro compile --family tree --size 30 --baseline --verify
     repro figure fig10a
-    repro figure fig11b
+    repro figure zoo
     repro batch --families lattice tree --sizes 10 20 --seeds 11 12 --workers 4
-    repro batch --families random --sizes 15 25 --cache-dir .repro-cache
+    repro batch --families regular smallworld erdos --sizes 12 16 --cache-dir .repro-cache
+    repro serve --port 8765 --cache-dir .repro-service-cache
+    repro loadgen --url http://127.0.0.1:8765 --families lattice --sizes 10 14
+    repro loadgen --self-serve --cache-dir .repro-service-cache --requests 40
+
+Every subcommand exits with its own non-zero code on failure so scripts can
+tell what broke: ``2`` usage (argparse), ``3`` compile, ``4`` figure, ``5``
+batch, ``6`` serve, ``7`` loadgen.
 
 (The ``repro-emitter`` alias of the console script is kept for backwards
 compatibility.)
@@ -34,11 +46,29 @@ from repro.evaluation.experiments import fast_config, sweep_jobs
 from repro.evaluation import figures
 from repro.evaluation.report import render_table
 from repro.graphs.generators import benchmark_graph
-from repro.pipeline.jobs import JOB_KINDS
+from repro.pipeline.jobs import GRAPH_FAMILIES, JOB_KINDS
 from repro.pipeline.runner import BatchRunner
 from repro.utils.backend import BACKENDS
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_OK",
+    "EXIT_COMPILE",
+    "EXIT_FIGURE",
+    "EXIT_BATCH",
+    "EXIT_SERVE",
+    "EXIT_LOADGEN",
+]
+
+#: Exit codes, one per subcommand, so callers can tell failures apart
+#: (argparse itself exits with 2 on usage errors).
+EXIT_OK = 0
+EXIT_COMPILE = 3
+EXIT_FIGURE = 4
+EXIT_BATCH = 5
+EXIT_SERVE = 6
+EXIT_LOADGEN = 7
 
 _FIGURES = {
     "fig5": lambda args: figures.figure5_emitter_usage(),
@@ -51,14 +81,32 @@ _FIGURES = {
     "fig11a": lambda args: figures.figure11_loss(),
     "fig11b": lambda args: figures.figure11_lc_edges(),
     "runtime": lambda args: figures.runtime_scaling(),
+    "zoo": lambda args: figures.scenario_zoo(size=_single_zoo_size(args.sizes)),
 }
+
+
+def _single_zoo_size(sizes: list[int] | None) -> int | None:
+    """The zoo figure probes one size point; reject silent multi-size drops."""
+    if not sizes:
+        return None
+    if len(sizes) > 1:
+        raise ValueError(
+            "figure zoo sweeps families at a single size point; "
+            f"pass one --sizes value, got {sizes}"
+        )
+    return sizes[0]
 
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Emitter-photonic graph-state compilation framework (DAC 2025 reproduction).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -120,15 +168,16 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument(
         "--families",
         nargs="+",
+        choices=list(GRAPH_FAMILIES),
         default=["lattice"],
-        help="graph families to sweep (lattice/tree/random/waxman/linear/...)",
+        help="graph families to sweep (paper families plus the scenario zoo)",
     )
     batch_parser.add_argument(
         "--sizes",
         type=int,
         nargs="+",
         default=[10, 20, 30],
-        help="graph sizes (number of qubits per point)",
+        help="graph sizes (number of qubits; code distance for 'surface')",
     )
     batch_parser.add_argument(
         "--seeds",
@@ -170,6 +219,109 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also dump the full per-job records to this JSON file",
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the compilation server (POST /compile and /batch, "
+        "GET /status/<job> and /healthz; JSON bodies)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="address to bind (default: loopback)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8765, help="port to bind (0 picks a free port)"
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent result-cache directory; repeated requests are served "
+        "from disk (omit to recompute everything)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width used per micro-batch; 1 compiles in-process",
+    )
+    serve_parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=20.0,
+        help="how long to collect concurrent requests into one micro-batch",
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="maximum requests per micro-batch",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log one line per HTTP request"
+    )
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen",
+        help="drive a compilation server closed-loop and report throughput, "
+        "p50/p95/p99 latency and the cache-hit rate",
+    )
+    loadgen_parser.add_argument(
+        "--url",
+        default=None,
+        help="server root, e.g. http://127.0.0.1:8765 (or use --self-serve)",
+    )
+    loadgen_parser.add_argument(
+        "--self-serve",
+        action="store_true",
+        help="start an in-process server on a free port for the duration of "
+        "the run (useful for smoke tests and CI)",
+    )
+    loadgen_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory of the self-served instance "
+        "(only with --self-serve)",
+    )
+    loadgen_parser.add_argument(
+        "--families",
+        nargs="+",
+        choices=list(GRAPH_FAMILIES),
+        default=["lattice"],
+        help="graph families in the workload mix",
+    )
+    loadgen_parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[10], help="graph sizes in the mix"
+    )
+    loadgen_parser.add_argument(
+        "--seeds", type=int, nargs="+", default=[11], help="graph seeds in the mix"
+    )
+    loadgen_parser.add_argument(
+        "--kind",
+        choices=list(JOB_KINDS),
+        default="compile",
+        help="job kind issued by every request",
+    )
+    loadgen_parser.add_argument(
+        "--requests", type=int, default=50, help="total number of requests"
+    )
+    loadgen_parser.add_argument(
+        "--concurrency", type=int, default=4, help="closed-loop worker threads"
+    )
+    loadgen_parser.add_argument(
+        "--timeout", type=float, default=120.0, help="per-request timeout in seconds"
+    )
+    loadgen_parser.add_argument(
+        "--min-cache-hit-rate",
+        type=float,
+        default=None,
+        help="fail (exit 7) when the observed cache-hit rate is lower; "
+        "use on a second identical run to prove the cache works",
+    )
+    loadgen_parser.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="also dump the report summary to this JSON file",
+    )
     return parser
 
 
@@ -191,13 +343,13 @@ def _run_compile(args: argparse.Namespace) -> int:
     if args.show_circuit:
         print("circuit:")
         print(result.circuit.pretty())
-    return 0
+    return EXIT_OK
 
 
 def _run_figure(args: argparse.Namespace) -> int:
     data = _FIGURES[args.figure](args)
     print(data.to_text())
-    return 0
+    return EXIT_OK
 
 
 def _batch_row(outcome) -> list[object]:
@@ -266,21 +418,119 @@ def _run_batch(args: argparse.Namespace) -> int:
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"wrote {args.json_path}")
-    return 1 if report.num_errors else 0
+    return EXIT_BATCH if report.num_errors else EXIT_OK
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import CompileServer, CompileService
+
+    service = CompileService(
+        cache_dir=args.cache_dir,
+        max_workers=args.workers,
+        batch_window_seconds=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+    )
+    server = CompileServer((args.host, args.port), service, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    cache_note = args.cache_dir if args.cache_dir else "disabled"
+    print(f"repro serve: listening on http://{host}:{port} (cache: {cache_note})")
+    print("endpoints: POST /compile, POST /batch, GET /status/<job>, GET /healthz")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+    return EXIT_OK
+
+
+def _run_loadgen(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+    from repro.service.loadgen import run_loadgen, workload_payloads
+    from repro.service.server import start_server
+
+    if bool(args.url) == bool(args.self_serve):
+        print("loadgen: pass exactly one of --url or --self-serve", file=sys.stderr)
+        return EXIT_LOADGEN
+    payloads = workload_payloads(
+        args.families, args.sizes, seeds=args.seeds, kind=args.kind
+    )
+    server = None
+    try:
+        if args.self_serve:
+            server, _ = start_server(cache_dir=args.cache_dir)
+            host, port = server.server_address[:2]
+            url = f"http://{host}:{port}"
+            print(f"loadgen: self-serving on {url}")
+        else:
+            url = args.url
+        # A freshly backgrounded `repro serve` may still be binding; wait for
+        # /healthz instead of burning every request on connection-refused.
+        ServiceClient(url, timeout=args.timeout).wait_until_ready(timeout=10.0)
+        report = run_loadgen(
+            url,
+            payloads,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            timeout=args.timeout,
+        )
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+    print(report.to_text())
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(report.summary(), handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_path}")
+    if not report.ok:
+        return EXIT_LOADGEN
+    if (
+        args.min_cache_hit_rate is not None
+        and report.cache_hit_rate < args.min_cache_hit_rate
+    ):
+        print(
+            f"loadgen: cache-hit rate {report.cache_hit_rate:.2f} below required "
+            f"{args.min_cache_hit_rate:.2f}",
+            file=sys.stderr,
+        )
+        return EXIT_LOADGEN
+    return EXIT_OK
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Parameters
+    ----------
+    argv : list[str] | None, optional
+        Argument vector (default: ``sys.argv[1:]``).
+
+    Returns
+    -------
+    int
+        ``0`` on success; each subcommand has its own non-zero failure code
+        (see the module docstring).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "compile":
-        return _run_compile(args)
-    if args.command == "figure":
-        return _run_figure(args)
-    if args.command == "batch":
-        return _run_batch(args)
-    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
-    return 2  # pragma: no cover
+    handlers = {
+        "compile": (_run_compile, EXIT_COMPILE),
+        "figure": (_run_figure, EXIT_FIGURE),
+        "batch": (_run_batch, EXIT_BATCH),
+        "serve": (_run_serve, EXIT_SERVE),
+        "loadgen": (_run_loadgen, EXIT_LOADGEN),
+    }
+    handler, failure_code = handlers[args.command]
+    try:
+        return handler(args)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("interrupted", file=sys.stderr)
+        return failure_code
+    except Exception as exc:  # noqa: BLE001 - the CLI boundary reports, not raises
+        print(f"repro {args.command}: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return failure_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -47,7 +47,7 @@ from repro.graphs.graph_state import GraphState
 from repro.graphs.local_complementation import lc_correction_gates
 from repro.utils.backend import use_backend
 
-__all__ = ["CompilationResult", "EmitterCompiler"]
+__all__ = ["CompilationResult", "EmitterCompiler", "compile_graph"]
 
 Vertex = Hashable
 
@@ -323,3 +323,44 @@ class EmitterCompiler:
                 )
             )
         return corrected
+
+
+def compile_graph(
+    target_graph: GraphState,
+    config: CompilerConfig | None = None,
+    **overrides,
+) -> CompilationResult:
+    """Compile a graph state with the paper's framework in one call.
+
+    The functional entry point for scripts and notebooks: it builds an
+    :class:`EmitterCompiler` from ``config`` (or the defaults) with any
+    keyword overrides applied and compiles ``target_graph``.
+
+    Parameters
+    ----------
+    target_graph : GraphState
+        The photonic graph state to generate.
+    config : CompilerConfig | None, optional
+        Base configuration; ``None`` uses the paper's defaults.
+    **overrides
+        Any :class:`repro.core.config.CompilerConfig` field, applied on top
+        of ``config`` (e.g. ``verify=True``, ``gf2_backend="dense"``,
+        ``emitter_limit_factor=2.0``).
+
+    Returns
+    -------
+    CompilationResult
+        Circuit, schedule, metrics and partition of the compilation.
+
+    Examples
+    --------
+    >>> from repro import compile_graph, lattice_graph
+    >>> result = compile_graph(lattice_graph(3, 4), verify=True)
+    >>> result.verified
+    True
+    """
+    if config is None:
+        config = CompilerConfig()
+    if overrides:
+        config = config.with_overrides(**overrides)
+    return EmitterCompiler(config).compile(target_graph)

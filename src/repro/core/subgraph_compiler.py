@@ -95,6 +95,7 @@ def candidate_processing_orders(
     seen: set[tuple[Vertex, ...]] = set()
 
     def add(order: Sequence[Vertex]) -> None:
+        """Record one candidate order, deduplicated, up to the budget."""
         key = tuple(order)
         if key not in seen and len(candidates) < max_candidates:
             seen.add(key)

@@ -3,8 +3,9 @@
 * :mod:`repro.evaluation.experiments` — run one (graph, compiler, baseline)
   comparison point and collect all metrics.
 * :mod:`repro.evaluation.figures` — the per-figure sweeps (Fig. 10 a-f,
-  Fig. 11 a-b, plus the Fig. 5 emitter-usage curve and a compile-runtime
-  scaling study), each returning a :class:`repro.evaluation.report.FigureData`.
+  Fig. 11 a-b, plus the Fig. 5 emitter-usage curve, a compile-runtime
+  scaling study and the scenario-zoo cross-family sweep), each returning a
+  :class:`repro.evaluation.report.FigureData`.
 * :mod:`repro.evaluation.report` — plain-text table rendering used by the
   benchmarks, the examples and the CLI.
 """
@@ -17,6 +18,7 @@ from repro.evaluation.figures import (
     figure11_lc_edges,
     figure5_emitter_usage,
     runtime_scaling,
+    scenario_zoo,
 )
 from repro.evaluation.report import FigureData, render_table
 
@@ -29,6 +31,7 @@ __all__ = [
     "figure11_lc_edges",
     "figure5_emitter_usage",
     "runtime_scaling",
+    "scenario_zoo",
     "FigureData",
     "render_table",
 ]

@@ -35,16 +35,19 @@ from repro.evaluation.experiments import (
 from repro.evaluation.report import FigureData
 from repro.graphs.generators import benchmark_graph
 from repro.graphs.graph_state import GraphState
+from repro.pipeline.jobs import BatchJob, GraphSpec
 from repro.pipeline.runner import BatchRunner
 
 __all__ = [
     "DEFAULT_SIZES",
+    "ZOO_FAMILIES",
     "figure10_cnot",
     "figure10_duration",
     "figure11_loss",
     "figure11_lc_edges",
     "figure5_emitter_usage",
     "runtime_scaling",
+    "scenario_zoo",
 ]
 
 #: Paper sweep sizes per graph family (Fig. 10).
@@ -364,4 +367,100 @@ def runtime_scaling(
         data.add_row([size, record["seconds_ours"], record["seconds_baseline"]])
     ours_column = [float(v) for v in data.column("ours_seconds")]
     data.summary = {"max_ours_seconds": max(ours_column, default=0.0)}
+    return data
+
+
+# --------------------------------------------------------------------------- #
+# Scenario zoo: the framework across every workload family
+# --------------------------------------------------------------------------- #
+
+#: Families swept by :func:`scenario_zoo`, with the size each is probed at
+#: (``surface`` sizes are code distances, ``steane`` is fixed at 7 vertices).
+ZOO_FAMILIES: dict[str, int] = {
+    "lattice": 16,
+    "tree": 16,
+    "random": 16,
+    "regular": 16,
+    "smallworld": 16,
+    "erdos": 16,
+    "percolated": 16,
+    "ghz": 16,
+    "steane": 7,
+    "surface": 3,
+}
+
+
+def scenario_zoo(
+    families: Sequence[str] | None = None,
+    size: int | None = None,
+    seed: int = 11,
+    runner: BatchRunner | None = None,
+) -> FigureData:
+    """Framework metrics across the whole scenario zoo at one size point.
+
+    One ``compile`` job per family through the batch pipeline; the row set is
+    the quick "does every workload go through?" sweep that the service smoke
+    tests and the docs use.
+
+    Parameters
+    ----------
+    families : Sequence[str] | None, optional
+        Families to include (default: every :data:`ZOO_FAMILIES` entry).
+    size : int | None, optional
+        Override the per-family default size (ignored for ``steane`` and
+        ``surface``, whose sizes are structural).
+    seed : int, optional
+        Graph seed shared by all families.
+    runner : BatchRunner | None, optional
+        Batch runner (default: the serial cache-less runner).
+
+    Returns
+    -------
+    FigureData
+        One row per family: qubits, edges, emitters used, emitter-emitter
+        CNOTs and circuit duration.
+    """
+    chosen = list(families) if families is not None else list(ZOO_FAMILIES)
+    unknown = [family for family in chosen if family not in ZOO_FAMILIES]
+    if unknown:
+        raise ValueError(f"unknown zoo families: {unknown}")
+    data = FigureData(
+        name="scenario_zoo",
+        description=(
+            "Framework compilation metrics across every graph family of the "
+            "scenario zoo (one size point per family)."
+        ),
+        columns=[
+            "family",
+            "num_qubits",
+            "num_edges",
+            "num_emitters",
+            "ee_cnots",
+            "duration",
+        ],
+    )
+    jobs = []
+    for family in chosen:
+        family_size = ZOO_FAMILIES[family]
+        if size is not None and family not in ("steane", "surface"):
+            family_size = size
+        jobs.append(
+            BatchJob(
+                graph=GraphSpec(family=family, size=family_size, seed=seed),
+                kind="compile",
+            )
+        )
+    report = run_sweep(jobs, runner=runner)
+    for family, record in zip(chosen, report.results):
+        data.add_row(
+            [
+                family,
+                record["num_qubits"],
+                record["num_edges"],
+                record["ours"]["num_emitters"],
+                record["ours"]["num_emitter_emitter_cnots"],
+                record["ours"]["duration"],
+            ]
+        )
+    data.summary = {"num_families": float(len(chosen))}
     return data

@@ -6,8 +6,10 @@ Modules
 * :mod:`repro.graphs.graph_state` — the :class:`GraphState` container used by
   the whole compiler (thin, validated wrapper around ``networkx.Graph``).
 * :mod:`repro.graphs.generators` — the benchmark families of the paper
-  (2-D lattice, tree, Waxman random graph) plus common extras (linear cluster,
-  ring, star/GHZ, complete, repeater graph state).
+  (2-D lattice, tree, Waxman random graph), common extras (linear cluster,
+  ring, star/GHZ, complete, repeater graph state) and the scenario zoo
+  (random regular, Watts–Strogatz small world, Erdős–Rényi, percolated
+  lattice, GHZ/Steane/rotated-surface-code graph states).
 * :mod:`repro.graphs.local_complementation` — local complementation (LC)
   rewrites, LC sequences and the single-qubit Clifford corrections they imply.
 * :mod:`repro.graphs.entanglement` — cut rank / height function and the
@@ -17,13 +19,20 @@ Modules
 from repro.graphs.graph_state import GraphState
 from repro.graphs.generators import (
     complete_graph,
+    erdos_renyi_graph,
+    ghz_graph,
     lattice_graph,
     linear_cluster,
+    percolated_lattice,
+    random_regular_graph,
     random_tree,
     repeater_graph_state,
     ring_graph,
+    rotated_surface_code_graph,
     star_graph,
+    steane_code_graph,
     tree_graph,
+    watts_strogatz_graph,
     waxman_graph,
 )
 from repro.graphs.local_complementation import (
@@ -42,13 +51,20 @@ from repro.graphs.entanglement import (
 __all__ = [
     "GraphState",
     "complete_graph",
+    "erdos_renyi_graph",
+    "ghz_graph",
     "lattice_graph",
     "linear_cluster",
+    "percolated_lattice",
+    "random_regular_graph",
     "random_tree",
     "repeater_graph_state",
     "ring_graph",
+    "rotated_surface_code_graph",
     "star_graph",
+    "steane_code_graph",
     "tree_graph",
+    "watts_strogatz_graph",
     "waxman_graph",
     "LCOperation",
     "apply_lc_sequence",

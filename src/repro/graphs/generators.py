@@ -14,15 +14,33 @@ This module also ships several standard extras used by the examples and the
 test-suite: linear cluster states, rings, stars (GHZ-equivalent), complete
 graphs and repeater graph states (RGS).
 
+Beyond the paper's families, the *scenario zoo* covers the workload diversity
+that the batch pipeline and the compilation service are exercised with:
+
+* **Random regular** (:func:`random_regular_graph`) — expander-like
+  topologies with uniform degree;
+* **Small world** (:func:`watts_strogatz_graph`) — Watts–Strogatz rewired
+  rings, high clustering with short paths;
+* **Erdős–Rényi** (:func:`erdos_renyi_graph`) — the classic ``G(n, p)``
+  random-graph model;
+* **Percolated lattice** (:func:`percolated_lattice`) — a cluster state with
+  fabrication defects: bond percolation applied to the 2-D grid;
+* **QEC-flavoured graph states** — GHZ (:func:`ghz_graph`), the 7-qubit
+  Steane code (:func:`steane_code_graph`) and the rotated surface code
+  (:func:`rotated_surface_code_graph`).
+
 All generators return :class:`repro.graphs.graph_state.GraphState` instances
 with integer vertex labels ``0..n-1`` and are deterministic for a fixed
-``seed``.
+``seed``.  Every family is also registered as a picklable
+:class:`repro.pipeline.jobs.GraphSpec` kind, so it can be swept through
+``repro batch``, served by ``repro serve`` and driven by ``repro loadgen``.
 """
 
 from __future__ import annotations
 
 import math
 
+import networkx as nx
 import numpy as np
 
 from repro.graphs.graph_state import GraphState
@@ -38,6 +56,13 @@ __all__ = [
     "star_graph",
     "complete_graph",
     "repeater_graph_state",
+    "random_regular_graph",
+    "watts_strogatz_graph",
+    "erdos_renyi_graph",
+    "percolated_lattice",
+    "ghz_graph",
+    "steane_code_graph",
+    "rotated_surface_code_graph",
     "benchmark_graph",
 ]
 
@@ -230,6 +255,360 @@ def repeater_graph_state(num_arms: int) -> GraphState:
     for i in range(num_arms):
         graph.add_edge(inner[i], outer[i])
     return graph
+
+
+# --------------------------------------------------------------------------- #
+# Scenario zoo: random topologies
+# --------------------------------------------------------------------------- #
+
+
+def _derived_int_seed(seed: int | np.random.Generator | None) -> int:
+    """Derive a deterministic integer seed for the ``networkx`` generators."""
+    rng = make_rng(seed)
+    return int(rng.integers(0, 2**31 - 1))
+
+
+def _link_components(graph: GraphState) -> None:
+    """Connect a graph in place by joining consecutive components.
+
+    Components are ordered by their smallest vertex label and linked through
+    their minimum-label vertices, so the repair is deterministic.
+    """
+    components = sorted(
+        (sorted(component) for component in graph.connected_components()),
+        key=lambda component: component[0],
+    )
+    for left, right in zip(components, components[1:]):
+        graph.add_edge(left[0], right[0])
+
+
+def random_regular_graph(
+    num_vertices: int,
+    degree: int = 3,
+    seed: int | np.random.Generator | None = None,
+    ensure_connected: bool = True,
+) -> GraphState:
+    """A uniformly random ``degree``-regular graph state.
+
+    Random regular graphs are expander-like: every vertex has the same
+    degree, mixing is fast and there is no geometric structure — the opposite
+    corner of the workload space from lattices and trees.
+
+    Parameters
+    ----------
+    num_vertices : int
+        Number of vertices; ``num_vertices * degree`` must be even and
+        ``degree < num_vertices``.
+    degree : int, optional
+        Uniform vertex degree (default 3, the smallest degree for which the
+        random graph is almost surely connected).
+    seed : int | numpy.random.Generator | None, optional
+        RNG seed for reproducibility.
+    ensure_connected : bool, optional
+        Redraw (up to 200 times, deterministically) until the sample is
+        connected; only meaningful for ``degree >= 2``.
+
+    Returns
+    -------
+    GraphState
+        The sampled regular graph state.
+    """
+    check_positive("num_vertices", num_vertices)
+    if degree < 0 or degree >= num_vertices:
+        raise ValueError(
+            f"degree must satisfy 0 <= degree < num_vertices, got {degree}"
+        )
+    if (num_vertices * degree) % 2 != 0:
+        raise ValueError(
+            f"num_vertices * degree must be even, got {num_vertices} * {degree}"
+        )
+    if degree == 0:
+        return GraphState(vertices=range(num_vertices))
+    base_seed = _derived_int_seed(seed)
+    sample = None
+    for attempt in range(200):
+        sample = nx.random_regular_graph(
+            degree, num_vertices, seed=(base_seed + attempt) % (2**31 - 1)
+        )
+        if not ensure_connected or degree < 2 or nx.is_connected(sample):
+            return GraphState.from_networkx(sample)
+    raise RuntimeError(
+        f"could not sample a connected {degree}-regular graph on "
+        f"{num_vertices} vertices in 200 attempts"
+    )
+
+
+def watts_strogatz_graph(
+    num_vertices: int,
+    k: int = 4,
+    rewire_probability: float = 0.1,
+    seed: int | np.random.Generator | None = None,
+) -> GraphState:
+    """A connected Watts–Strogatz small-world graph state.
+
+    Starts from a ring lattice where every vertex is joined to its ``k``
+    nearest neighbours and rewires each edge with probability
+    ``rewire_probability`` — high clustering with short average paths, the
+    regime of realistic interconnect topologies.
+
+    Parameters
+    ----------
+    num_vertices : int
+        Number of vertices (at least 3).
+    k : int, optional
+        Ring-lattice neighbourhood size, ``2 <= k < num_vertices`` (odd ``k``
+        behaves like ``k - 1``, as in ``networkx``).
+    rewire_probability : float, optional
+        Per-edge rewiring probability in ``[0, 1]``.
+    seed : int | numpy.random.Generator | None, optional
+        RNG seed for reproducibility.
+
+    Returns
+    -------
+    GraphState
+        A connected small-world graph state.
+    """
+    if num_vertices < 3:
+        raise ValueError(f"num_vertices must be >= 3, got {num_vertices}")
+    if not 2 <= k < num_vertices:
+        raise ValueError(f"k must satisfy 2 <= k < num_vertices, got {k}")
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise ValueError(
+            f"rewire_probability must be in [0, 1], got {rewire_probability}"
+        )
+    sample = nx.connected_watts_strogatz_graph(
+        num_vertices, k, rewire_probability, tries=200, seed=_derived_int_seed(seed)
+    )
+    return GraphState.from_networkx(sample)
+
+
+def erdos_renyi_graph(
+    num_vertices: int,
+    edge_probability: float | None = None,
+    seed: int | np.random.Generator | None = None,
+    ensure_connected: bool = True,
+) -> GraphState:
+    """An Erdős–Rényi ``G(n, p)`` random graph state.
+
+    Parameters
+    ----------
+    num_vertices : int
+        Number of vertices.
+    edge_probability : float | None, optional
+        Independent edge probability in ``[0, 1]``.  ``None`` picks
+        ``min(1, 2 ln(n) / n)`` — just above the sharp connectivity
+        threshold ``ln(n) / n``, so the default samples are sparse but
+        (almost always) connected.
+    seed : int | numpy.random.Generator | None, optional
+        RNG seed for reproducibility.
+    ensure_connected : bool, optional
+        Deterministically link residual components (smallest-label vertices
+        of consecutive components) so the returned state is connected.
+
+    Returns
+    -------
+    GraphState
+        The sampled random graph state.
+    """
+    check_positive("num_vertices", num_vertices)
+    if edge_probability is None:
+        edge_probability = (
+            min(1.0, 2.0 * math.log(num_vertices) / num_vertices)
+            if num_vertices > 1
+            else 0.0
+        )
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError(
+            f"edge_probability must be in [0, 1], got {edge_probability}"
+        )
+    sample = nx.gnp_random_graph(
+        num_vertices, edge_probability, seed=_derived_int_seed(seed)
+    )
+    graph = GraphState.from_networkx(sample)
+    if ensure_connected and num_vertices > 1:
+        _link_components(graph)
+    return graph
+
+
+def percolated_lattice(
+    rows: int,
+    cols: int,
+    survival: float = 0.85,
+    seed: int | np.random.Generator | None = None,
+    ensure_connected: bool = True,
+) -> GraphState:
+    """A defective 2-D cluster state: bond percolation on the square grid.
+
+    Each edge of the perfect ``rows x cols`` lattice survives independently
+    with probability ``survival``.  This models fabrication defects and
+    photon loss in lattice-based architectures, where the delivered resource
+    state is never the ideal grid.
+
+    Parameters
+    ----------
+    rows, cols : int
+        Grid dimensions (vertex ``(r, c)`` is labelled ``r * cols + c``).
+    survival : float, optional
+        Per-edge survival probability in ``(0, 1]``.
+    seed : int | numpy.random.Generator | None, optional
+        RNG seed for reproducibility.
+    ensure_connected : bool, optional
+        Re-add dropped lattice edges (in deterministic scan order) until the
+        graph is connected again, so the defect model never fragments the
+        state.
+
+    Returns
+    -------
+    GraphState
+        The percolated lattice graph state, on the full vertex set.
+    """
+    if not 0.0 < survival <= 1.0:
+        raise ValueError(f"survival must be in (0, 1], got {survival}")
+    rng = make_rng(seed)
+    graph = lattice_graph(rows, cols)
+    dropped = []
+    for edge in sorted(graph.edges()):
+        if rng.random() > survival:
+            graph.remove_edge(*edge)
+            dropped.append(edge)
+    if ensure_connected:
+        while not graph.is_connected():
+            components = graph.connected_components()
+            membership = {}
+            for index, component in enumerate(components):
+                for vertex in component:
+                    membership[vertex] = index
+            for u, v in dropped:
+                if membership[u] != membership[v]:
+                    graph.add_edge(u, v)
+                    break
+            else:  # pragma: no cover - unreachable: the full grid is connected
+                raise RuntimeError("percolation repair failed")
+    return graph
+
+
+# --------------------------------------------------------------------------- #
+# Scenario zoo: GHZ and QEC-flavoured graph states
+# --------------------------------------------------------------------------- #
+
+
+def ghz_graph(num_vertices: int, representation: str = "star") -> GraphState:
+    """The graph state locally equivalent to the ``n``-qubit GHZ state.
+
+    The GHZ state's local-Clifford equivalence class contains exactly the
+    star and the complete graph; both representations are offered because
+    they stress the compiler differently (the star is emitter-friendly, the
+    complete graph maximises edge count).  The W state, by contrast, is not a
+    stabilizer state and therefore has no graph-state representation — the
+    zoo deliberately has no W generator.
+
+    Parameters
+    ----------
+    num_vertices : int
+        Number of qubits.
+    representation : {"star", "complete"}, optional
+        Which member of the LC class to return.
+
+    Returns
+    -------
+    GraphState
+        The requested GHZ-class graph state.
+    """
+    if representation == "star":
+        return star_graph(num_vertices)
+    if representation == "complete":
+        return complete_graph(num_vertices)
+    raise ValueError(
+        f"representation must be 'star' or 'complete', got {representation!r}"
+    )
+
+
+def _css_x_check_graph(
+    num_data: int, x_checks: list[tuple[int, ...]]
+) -> GraphState:
+    """Bipartite graph state of a CSS code from its X-stabilizer supports.
+
+    Every CSS codeword stabilized state is local-Clifford equivalent to a
+    bipartite graph state whose two sides are the data qubits and the X-type
+    checks, with an edge wherever a check acts on a qubit (the Tanner-graph
+    construction of Chen/Lo and Audenaert/Plenio).  Data qubits are labelled
+    ``0 .. num_data - 1``; check vertices follow.
+    """
+    graph = GraphState(vertices=range(num_data + len(x_checks)))
+    for offset, support in enumerate(x_checks):
+        check_vertex = num_data + offset
+        for qubit in support:
+            graph.add_edge(check_vertex, qubit)
+    return graph
+
+
+def steane_code_graph() -> GraphState:
+    """The 7-qubit Steane code state as a bipartite graph state.
+
+    The Steane ``[[7, 1, 3]]`` code is the CSS code of the classical
+    ``[7, 4]`` Hamming code.  Bringing the Hamming parity-check matrix to
+    standard form ``[I_3 | A]`` and applying the CSS Tanner-graph
+    construction yields a 7-vertex bipartite graph state (4 data vertices, 3
+    check vertices, 9 edges) in the code state's local-Clifford class.
+
+    Returns
+    -------
+    GraphState
+        A 7-vertex graph state representing the Steane code state.
+    """
+    # Hamming [7,4] in standard form [I_3 | A]: A's columns are the syndromes
+    # (1,1,0), (1,0,1), (0,1,1), (1,1,1) of the four data positions.
+    return _css_x_check_graph(
+        num_data=4,
+        x_checks=[(0, 1, 3), (0, 2, 3), (1, 2, 3)],
+    )
+
+
+def rotated_surface_code_graph(distance: int) -> GraphState:
+    """The rotated surface code of odd ``distance`` as a graph state.
+
+    Vertices are the ``distance**2`` data qubits of the rotated layout plus
+    one vertex per X-type plaquette (``(distance**2 - 1) / 2`` of them), with
+    an edge wherever a plaquette touches a data qubit — the CSS Tanner-graph
+    construction restricted to the X checks.  This is the resource the
+    fusion-based and emitter-based surface-code proposals generate photonic
+    fragments of.
+
+    Parameters
+    ----------
+    distance : int
+        Code distance; odd and at least 3.
+
+    Returns
+    -------
+    GraphState
+        Graph state on ``distance**2 + (distance**2 - 1) // 2`` vertices.
+    """
+    if distance < 3 or distance % 2 == 0:
+        raise ValueError(f"distance must be odd and >= 3, got {distance}")
+    d = distance
+    x_checks: list[tuple[int, ...]] = []
+    for r in range(d + 1):
+        for c in range(d + 1):
+            support = tuple(
+                rr * d + cc
+                for rr, cc in ((r - 1, c - 1), (r - 1, c), (r, c - 1), (r, c))
+                if 0 <= rr < d and 0 <= cc < d
+            )
+            if len(support) < 2:
+                continue  # corner positions carry no stabilizer
+            is_x_type = (r + c) % 2 == 0
+            interior = 1 <= r <= d - 1 and 1 <= c <= d - 1
+            # Boundary plaquettes exist only on two of the four sides: X-type
+            # semicircles on the top/bottom rows, Z-type on the left/right
+            # columns (the defining truncation of the rotated layout).
+            if not interior and (c == 0 or c == d):
+                continue  # left/right boundary: Z-type only, not in the graph
+            if not interior and not is_x_type:
+                continue  # top/bottom boundary keeps only X-type plaquettes
+            if is_x_type:
+                x_checks.append(support)
+    return _css_x_check_graph(num_data=d * d, x_checks=x_checks)
 
 
 def benchmark_graph(

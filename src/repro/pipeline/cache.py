@@ -21,12 +21,17 @@ __all__ = ["ResultCache"]
 class ResultCache:
     """A directory of ``<content-hash>.json`` job results.
 
-    Args:
-        cache_dir: directory to store entries in (created on first write).
+    Parameters
+    ----------
+    cache_dir : str | Path
+        Directory to store entries in (created on first write).
 
-    Attributes:
-        hits: number of successful :meth:`get` lookups.
-        misses: number of :meth:`get` lookups that found nothing.
+    Attributes
+    ----------
+    hits : int
+        Number of successful :meth:`get` lookups.
+    misses : int
+        Number of :meth:`get` lookups that found nothing.
     """
 
     def __init__(self, cache_dir: str | Path):

@@ -30,10 +30,17 @@ from dataclasses import asdict, dataclass, field, replace
 from repro.graphs.generators import (
     benchmark_graph,
     complete_graph,
+    erdos_renyi_graph,
+    ghz_graph,
     linear_cluster,
+    percolated_lattice,
+    random_regular_graph,
     repeater_graph_state,
     ring_graph,
+    rotated_surface_code_graph,
     star_graph,
+    steane_code_graph,
+    watts_strogatz_graph,
     waxman_graph,
 )
 from repro.graphs.graph_state import GraphState
@@ -53,6 +60,15 @@ GRAPH_FAMILIES = (
     "star",
     "complete",
     "repeater",
+    # Scenario zoo (random topologies).
+    "regular",
+    "smallworld",
+    "erdos",
+    "percolated",
+    # Scenario zoo (GHZ / QEC-flavoured states).
+    "ghz",
+    "steane",
+    "surface",
 )
 
 JOB_KINDS = ("comparison", "compile", "duration", "lc_stem_edges")
@@ -64,7 +80,24 @@ JOB_SCHEMA_VERSION = 1
 
 @dataclass(frozen=True)
 class GraphSpec:
-    """Recipe for one benchmark graph: ``(family, size, seed)``."""
+    """Recipe for one benchmark graph: ``(family, size, seed)``.
+
+    Parameters
+    ----------
+    family : str
+        One of :data:`GRAPH_FAMILIES`.  For ``"surface"`` the ``size`` is the
+        code *distance* (odd, >= 3); for ``"steane"`` it must be 7 (the code
+        is fixed); for ``"regular"`` the degree is 3 for even sizes and 4 for
+        odd ones (so the degree sum stays even), requiring ``size >= 4``.
+        Grid families (``"lattice"``, ``"percolated"``) round the size down
+        to the closest ``rows x cols`` rectangle, so the built graph may have
+        slightly fewer vertices than requested.
+    size : int
+        Target number of vertices (see the per-family caveats above).
+    seed : int, optional
+        RNG seed for the stochastic families; deterministic families ignore
+        it (it still participates in the content hash).
+    """
 
     family: str
     size: int
@@ -78,6 +111,16 @@ class GraphSpec:
             )
         if self.size < 1:
             raise ValueError(f"size must be positive, got {self.size}")
+        if self.family == "steane" and self.size != 7:
+            raise ValueError("the Steane code graph has exactly 7 vertices")
+        if self.family == "surface" and (self.size < 3 or self.size % 2 == 0):
+            raise ValueError(
+                f"surface size is the code distance (odd, >= 3), got {self.size}"
+            )
+        if self.family == "regular" and self.size < 4:
+            raise ValueError("regular graphs need size >= 4")
+        if self.family == "smallworld" and self.size < 3:
+            raise ValueError("smallworld graphs need size >= 3")
 
     def build(self) -> GraphState:
         """Construct the graph exactly as the evaluation harness would."""
@@ -93,6 +136,26 @@ class GraphSpec:
             return star_graph(self.size)
         if self.family == "complete":
             return complete_graph(self.size)
+        if self.family == "regular":
+            degree = 3 if self.size % 2 == 0 else 4
+            return random_regular_graph(self.size, degree=degree, seed=self.seed)
+        if self.family == "smallworld":
+            k = min(4, self.size - 1)
+            return watts_strogatz_graph(self.size, k=max(2, k), seed=self.seed)
+        if self.family == "erdos":
+            return erdos_renyi_graph(self.size, seed=self.seed)
+        if self.family == "percolated":
+            import math
+
+            rows = max(2, int(math.floor(math.sqrt(self.size))))
+            cols = max(2, self.size // rows)
+            return percolated_lattice(rows, cols, seed=self.seed)
+        if self.family == "ghz":
+            return ghz_graph(self.size)
+        if self.family == "steane":
+            return steane_code_graph()
+        if self.family == "surface":
+            return rotated_surface_code_graph(self.size)
         return repeater_graph_state(self.size)
 
 
@@ -100,18 +163,26 @@ class GraphSpec:
 class BatchJob:
     """One unit of work for the batch pipeline.
 
-    Attributes:
-        graph: the target graph recipe.
-        kind: one of :data:`JOB_KINDS`.
-        emitter_limit_factor: the paper's ``N_e^limit / N_e^min`` knob.
-        hardware: hardware preset name (see
-            :func:`repro.hardware.models.get_hardware_model`).
-        backend: GF(2)/tableau backend pinned for this job (``None`` keeps
-            the worker process default).
-        verify: re-simulate compiled circuits on the stabilizer tableau.
-        config_overrides: extra :class:`repro.core.config.CompilerConfig`
-            fields applied on top of the fast benchmark profile, as a sorted
-            tuple of ``(name, value)`` pairs (kept hashable for caching).
+    Parameters
+    ----------
+    graph : GraphSpec
+        The target graph recipe.
+    kind : str, optional
+        One of :data:`JOB_KINDS`.
+    emitter_limit_factor : float, optional
+        The paper's ``N_e^limit / N_e^min`` knob.
+    hardware : str, optional
+        Hardware preset name (see
+        :func:`repro.hardware.models.get_hardware_model`).
+    backend : str | None, optional
+        GF(2)/tableau backend pinned for this job (``None`` keeps the worker
+        process default).
+    verify : bool, optional
+        Re-simulate compiled circuits on the stabilizer tableau.
+    config_overrides : tuple[tuple[str, object], ...], optional
+        Extra :class:`repro.core.config.CompilerConfig` fields applied on top
+        of the fast benchmark profile, as a sorted tuple of ``(name, value)``
+        pairs (kept hashable for caching).
     """
 
     graph: GraphSpec
@@ -146,6 +217,74 @@ class BatchJob:
         data["config_overrides"] = [list(pair) for pair in self.config_overrides]
         data["schema_version"] = JOB_SCHEMA_VERSION
         return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatchJob":
+        """Rebuild a job from its :meth:`as_dict` form (or any JSON payload).
+
+        This is the wire format of the compilation service: the ``graph``
+        entry may be a nested ``{"family", "size", "seed"}`` mapping, or the
+        three keys may be given flat at the top level.  Unknown keys raise
+        ``ValueError`` so that client typos fail loudly instead of silently
+        compiling the wrong thing.
+
+        Parameters
+        ----------
+        data : dict
+            A job description, e.g. parsed from a JSON request body.
+
+        Returns
+        -------
+        BatchJob
+            The validated job (construction re-runs all field validation).
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"job payload must be a mapping, got {type(data).__name__}")
+        payload = dict(data)
+        payload.pop("schema_version", None)
+        graph = payload.pop("graph", None)
+        if graph is None:
+            graph = {
+                key: payload.pop(key)
+                for key in ("family", "size", "seed")
+                if key in payload
+            }
+        if not isinstance(graph, dict) or "family" not in graph or "size" not in graph:
+            raise ValueError(
+                "job payload needs a graph: either {'graph': {'family', 'size', "
+                "'seed'}} or flat 'family'/'size'/'seed' keys"
+            )
+        unknown_graph = set(graph) - {"family", "size", "seed"}
+        if unknown_graph:
+            raise ValueError(f"unknown graph keys: {sorted(unknown_graph)}")
+        allowed = {
+            "kind",
+            "emitter_limit_factor",
+            "hardware",
+            "backend",
+            "verify",
+            "config_overrides",
+        }
+        unknown = set(payload) - allowed
+        if unknown:
+            raise ValueError(f"unknown job keys: {sorted(unknown)}")
+        overrides = payload.pop("config_overrides", ())
+        if isinstance(overrides, dict):
+            # The natural JSON-object encoding ({"field": value, ...}).
+            overrides = sorted(overrides.items())
+        try:
+            overrides = tuple((str(name), value) for name, value in overrides)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                "config_overrides must be a mapping or a sequence of "
+                "(name, value) pairs"
+            ) from exc
+        spec = GraphSpec(
+            family=str(graph["family"]),
+            size=int(graph["size"]),
+            seed=int(graph.get("seed", 11)),
+        )
+        return cls(graph=spec, config_overrides=overrides, **payload)
 
     @property
     def content_hash(self) -> str:

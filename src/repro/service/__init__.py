@@ -1,0 +1,47 @@
+"""The compilation service: serve graph-state compilations over HTTP.
+
+This subsystem turns the batch pipeline (:mod:`repro.pipeline`) into a
+long-running server for interactive and high-volume traffic:
+
+* :mod:`repro.service.server` — :class:`CompileService` (micro-batched
+  execution, async batches, counters) and :class:`CompileServer` (stdlib
+  ``ThreadingHTTPServer`` exposing ``/compile``, ``/batch``,
+  ``/status/<job>`` and ``/healthz`` with JSON bodies);
+* :mod:`repro.service.batcher` — the :class:`MicroBatcher` that coalesces
+  concurrent requests into single :class:`repro.pipeline.runner.BatchRunner`
+  batches;
+* :mod:`repro.service.client` — :class:`ServiceClient`, a dependency-free
+  ``urllib`` client used by tests and the load generator;
+* :mod:`repro.service.loadgen` — the closed-loop load generator behind
+  ``repro loadgen`` (throughput, p50/p95/p99 latency, cache-hit rate).
+
+Everything is stdlib-only on top of the package's existing dependencies; the
+CLI entry points are ``repro serve`` and ``repro loadgen``.
+"""
+
+from repro.service.batcher import BatcherStats, MicroBatcher
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.loadgen import LoadReport, percentile, run_loadgen, workload_payloads
+from repro.service.server import (
+    CompileServer,
+    CompileService,
+    ServiceBusyError,
+    ServiceRequestError,
+    start_server,
+)
+
+__all__ = [
+    "BatcherStats",
+    "MicroBatcher",
+    "ServiceClient",
+    "ServiceError",
+    "LoadReport",
+    "percentile",
+    "run_loadgen",
+    "workload_payloads",
+    "CompileServer",
+    "CompileService",
+    "ServiceBusyError",
+    "ServiceRequestError",
+    "start_server",
+]

@@ -1,0 +1,190 @@
+"""Micro-batching of concurrent compile requests onto the batch pipeline.
+
+The HTTP server handles every request on its own thread
+(:class:`http.server.ThreadingHTTPServer`), but compilations are cheapest
+when they travel together: one :meth:`repro.pipeline.runner.BatchRunner.run`
+call amortises cache lookups and process-pool dispatch over the whole batch.
+:class:`MicroBatcher` is the funnel between the two worlds — request threads
+:meth:`~MicroBatcher.submit` a job and block; a single dispatcher thread
+drains the queue, waits a short *batching window* for stragglers, executes
+the collected jobs as one batch and wakes every submitter with its own
+:class:`repro.pipeline.runner.JobOutcome`.
+
+The first request of a quiet period pays at most ``window_seconds`` of extra
+latency; under load the window is always full and the batcher converges to
+back-to-back batches of up to ``max_batch`` jobs.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.pipeline.jobs import BatchJob
+from repro.pipeline.runner import BatchRunner, JobOutcome
+
+__all__ = ["BatcherStats", "MicroBatcher"]
+
+
+@dataclass
+class BatcherStats:
+    """Counters describing the batching behaviour so far."""
+
+    requests: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable snapshot (served by ``/healthz``)."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+            "mean_batch_size": self.requests / self.batches if self.batches else 0.0,
+        }
+
+
+@dataclass
+class _Pending:
+    """One submitted job waiting for its outcome."""
+
+    job: BatchJob
+    done: threading.Event = field(default_factory=threading.Event)
+    outcome: JobOutcome | None = None
+
+
+class MicroBatcher:
+    """Collect concurrent jobs into batches and run them on a shared runner.
+
+    Parameters
+    ----------
+    runner : BatchRunner
+        Executes each collected batch (and owns the result cache, so cached
+        jobs are answered without compiling).
+    window_seconds : float, optional
+        How long the dispatcher keeps collecting after the first job of a
+        batch arrives.
+    max_batch : int, optional
+        Upper bound on jobs per batch; a full batch dispatches immediately.
+    """
+
+    def __init__(
+        self,
+        runner: BatchRunner,
+        window_seconds: float = 0.02,
+        max_batch: int = 32,
+    ):
+        if window_seconds < 0:
+            raise ValueError(f"window_seconds must be >= 0, got {window_seconds}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.runner = runner
+        self.window_seconds = float(window_seconds)
+        self.max_batch = int(max_batch)
+        self.stats = BatcherStats()
+        self._queue: queue.Queue[_Pending | None] = queue.Queue()
+        self._closed = threading.Event()
+        # Serialises the closed-check-then-enqueue of submit() against
+        # close(), so no submission can slip into the queue after the final
+        # drain (which would leave its thread waiting forever).
+        self._submit_lock = threading.Lock()
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-microbatcher", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------ #
+
+    def submit(self, job: BatchJob) -> JobOutcome:
+        """Enqueue ``job`` and block until its batch has been executed.
+
+        Parameters
+        ----------
+        job : BatchJob
+            The compilation job to run.
+
+        Returns
+        -------
+        JobOutcome
+            The job's outcome; failures are captured in ``outcome.error``
+            rather than raised (matching the pipeline's semantics).
+        """
+        pending = _Pending(job=job)
+        with self._submit_lock:
+            if self._closed.is_set():
+                raise RuntimeError("MicroBatcher is closed")
+            self._queue.put(pending)
+        pending.done.wait()
+        assert pending.outcome is not None
+        return pending.outcome
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the dispatcher thread; pending jobs are failed, not run."""
+        with self._submit_lock:
+            if self._closed.is_set():
+                return
+            self._closed.set()
+        self._queue.put(None)  # wake the dispatcher
+        self._thread.join(timeout=timeout)
+        self._drain_cancelled()
+
+    # ------------------------------------------------------------------ #
+
+    def _collect(self) -> list[_Pending]:
+        """Block for the next job, then gather stragglers within the window."""
+        first = self._queue.get()
+        if first is None:
+            return []
+        batch = [first]
+        deadline = time.monotonic() + self.window_seconds
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is None:
+                break
+            batch.append(item)
+        return batch
+
+    def _dispatch_loop(self) -> None:
+        while not self._closed.is_set():
+            batch = self._collect()
+            if not batch:
+                continue
+            self.stats.requests += len(batch)
+            self.stats.batches += 1
+            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+            try:
+                report = self.runner.run([pending.job for pending in batch])
+                outcomes = report.outcomes
+            except Exception as exc:  # noqa: BLE001 - fail the batch, not the server
+                outcomes = [
+                    JobOutcome(
+                        job=pending.job,
+                        result=None,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    for pending in batch
+                ]
+            for pending, outcome in zip(batch, outcomes):
+                pending.outcome = outcome
+                pending.done.set()
+
+    def _drain_cancelled(self) -> None:
+        """Fail anything still queued after :meth:`close`."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is not None:
+                item.outcome = JobOutcome(
+                    job=item.job, result=None, error="service shut down"
+                )
+                item.done.set()

@@ -1,0 +1,172 @@
+"""A small stdlib HTTP client for the compilation service.
+
+:class:`ServiceClient` speaks the JSON protocol of
+:class:`repro.service.server.CompileServer` with nothing but
+``urllib.request``, so tests, the load generator and user scripts need no
+extra dependencies::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    client.wait_until_ready()
+    body = client.compile(family="lattice", size=12, kind="compile")
+    print(body["cache_hit"], body["result"]["ours"]["num_emitters"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error response from the service.
+
+    Attributes
+    ----------
+    status : int
+        HTTP status code (0 when the server was unreachable).
+    body : dict
+        Parsed JSON error body (may be empty).
+    """
+
+    def __init__(self, status: int, message: str, body: dict | None = None):
+        super().__init__(f"HTTP {status}: {message}" if status else message)
+        self.status = status
+        self.body = body or {}
+
+
+class ServiceClient:
+    """Typed access to the service endpoints.
+
+    Parameters
+    ----------
+    base_url : str
+        Server root, e.g. ``"http://127.0.0.1:8765"``.
+    timeout : float, optional
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 120.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------ #
+
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """Issue one JSON request and return the parsed response body.
+
+        Parameters
+        ----------
+        method : str
+            ``"GET"`` or ``"POST"``.
+        path : str
+            Endpoint path, e.g. ``"/healthz"``.
+        payload : dict | None, optional
+            JSON body for POST requests.
+
+        Returns
+        -------
+        dict
+            The parsed JSON response.
+
+        Raises
+        ------
+        ServiceError
+            On any non-2xx response or connection failure.
+        """
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read())
+            except (ValueError, OSError):
+                body = {}
+            raise ServiceError(
+                exc.code, str(body.get("error", exc.reason)), body
+            ) from exc
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            raise ServiceError(0, f"cannot reach {self.base_url}: {exc}") from exc
+
+    # ------------------------------------------------------------------ #
+
+    def healthz(self) -> dict:
+        """``GET /healthz``."""
+        return self.request("GET", "/healthz")
+
+    def compile(self, **job) -> dict:
+        """``POST /compile`` with a flat job payload.
+
+        Parameters
+        ----------
+        **job
+            Job fields (``family``, ``size``, ``seed``, ``kind``, ...) as
+            accepted by :meth:`repro.pipeline.jobs.BatchJob.from_dict`.
+
+        Returns
+        -------
+        dict
+            The outcome body; ``body["result"]`` holds the job record.
+        """
+        return self.request("POST", "/compile", job)
+
+    def compile_payload(self, payload: dict) -> dict:
+        """``POST /compile`` with an explicit payload dict."""
+        return self.request("POST", "/compile", payload)
+
+    def submit_batch(self, jobs: list[dict]) -> str:
+        """``POST /batch``; returns the job id to poll."""
+        return self.request("POST", "/batch", {"jobs": jobs})["job_id"]
+
+    def status(self, job_id: str) -> dict:
+        """``GET /status/<job>``."""
+        return self.request("GET", f"/status/{job_id}")
+
+    def wait_for_batch(
+        self, job_id: str, timeout: float = 120.0, poll_seconds: float = 0.05
+    ) -> dict:
+        """Poll ``/status/<job>`` until the batch is done (or errored).
+
+        Raises
+        ------
+        TimeoutError
+            If the batch is still running after ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            body = self.status(job_id)
+            if body["status"] in ("done", "error"):
+                return body
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"batch {job_id} still {body['status']!r}")
+            time.sleep(poll_seconds)
+
+    def wait_until_ready(self, timeout: float = 10.0) -> dict:
+        """Poll ``/healthz`` until the server answers (for fresh servers).
+
+        Raises
+        ------
+        ServiceError
+            If the server is still unreachable after ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except ServiceError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)

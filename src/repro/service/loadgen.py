@@ -1,0 +1,252 @@
+"""Closed-loop load generator for the compilation service.
+
+``run_loadgen`` drives a running :class:`repro.service.server.CompileServer`
+with ``concurrency`` worker threads, each issuing the next request as soon as
+its previous one returns (closed loop, so the offered load adapts to the
+server).  The workload is a deterministic round-robin over a list of job
+payloads — typically the cross product of graph families, sizes and seeds —
+and the report aggregates what a capacity test needs: throughput, latency
+percentiles (p50/p95/p99) and the cache-hit rate.
+
+Because jobs repeat across rounds (and across runs, if the server has a
+persistent cache directory), a *second* identical run is expected to be
+served almost entirely from cache — ``repro loadgen --min-cache-hit-rate``
+turns that expectation into a checkable exit code, which CI uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.service.client import ServiceClient, ServiceError
+
+__all__ = ["LoadReport", "percentile", "run_loadgen", "workload_payloads"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    Parameters
+    ----------
+    values : Sequence[float]
+        Samples; must be non-empty.
+    q : float
+        Percentile in ``[0, 100]``.
+
+    Returns
+    -------
+    float
+        The interpolated percentile.
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (q / 100.0) * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def workload_payloads(
+    families: Sequence[str],
+    sizes: Sequence[int],
+    seeds: Sequence[int] = (11,),
+    kind: str = "compile",
+    emitter_limit_factor: float = 1.5,
+    backend: str | None = None,
+) -> list[dict]:
+    """The cross product of families/sizes/seeds as ``/compile`` payloads.
+
+    Parameters
+    ----------
+    families : Sequence[str]
+        Graph families (any :data:`repro.pipeline.jobs.GRAPH_FAMILIES` name).
+    sizes : Sequence[int]
+        Graph sizes (per-family semantics; e.g. distance for ``surface``).
+    seeds : Sequence[int], optional
+        Graph seeds.
+    kind : str, optional
+        Job kind for every payload.
+    emitter_limit_factor : float, optional
+        The paper's ``N_e^limit / N_e^min`` knob.
+    backend : str | None, optional
+        Pin the GF(2) backend for every job (``None`` = server default).
+
+    Returns
+    -------
+    list[dict]
+        One payload per combination, in deterministic order.
+    """
+    payloads = []
+    for family, size, seed in itertools.product(families, sizes, seeds):
+        payload: dict = {
+            "family": family,
+            "size": size,
+            "seed": seed,
+            "kind": kind,
+            "emitter_limit_factor": emitter_limit_factor,
+        }
+        if backend is not None:
+            payload["backend"] = backend
+        payloads.append(payload)
+    return payloads
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one load-generation run."""
+
+    requests: int = 0
+    errors: int = 0
+    cache_hits: int = 0
+    coalesced: int = 0
+    wall_seconds: float = 0.0
+    latencies_seconds: list[float] = field(default_factory=list)
+    first_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every request succeeded."""
+        return self.errors == 0 and self.requests > 0
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.requests / self.wall_seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of successful requests answered from the result cache."""
+        completed = self.requests - self.errors
+        if completed <= 0:
+            return 0.0
+        return self.cache_hits / completed
+
+    def latency_ms(self, q: float) -> float:
+        """Latency percentile ``q`` in milliseconds (0 with no samples)."""
+        if not self.latencies_seconds:
+            return 0.0
+        return 1000.0 * percentile(self.latencies_seconds, q)
+
+    def summary(self) -> dict:
+        """JSON-serialisable aggregate (what the CLI prints)."""
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "wall_seconds": self.wall_seconds,
+            "throughput_rps": self.throughput_rps,
+            "latency_p50_ms": self.latency_ms(50),
+            "latency_p95_ms": self.latency_ms(95),
+            "latency_p99_ms": self.latency_ms(99),
+            "cache_hit_rate": self.cache_hit_rate,
+            "coalesced": self.coalesced,
+        }
+
+    def to_text(self) -> str:
+        """Human-readable report block."""
+        lines = [
+            f"requests:      {self.requests}  ({self.errors} errors)",
+            f"wall:          {self.wall_seconds:.3f}s  "
+            f"({self.throughput_rps:.1f} req/s)",
+            f"latency p50:   {self.latency_ms(50):.1f} ms",
+            f"latency p95:   {self.latency_ms(95):.1f} ms",
+            f"latency p99:   {self.latency_ms(99):.1f} ms",
+            f"cache hits:    {self.cache_hits} ({100.0 * self.cache_hit_rate:.1f}%)"
+            f"  coalesced: {self.coalesced}",
+        ]
+        for message in self.first_errors:
+            lines.append(f"error: {message}")
+        return "\n".join(lines)
+
+
+def run_loadgen(
+    url: str,
+    payloads: Sequence[dict],
+    requests: int = 50,
+    concurrency: int = 4,
+    timeout: float = 120.0,
+) -> LoadReport:
+    """Drive the service closed-loop and aggregate a :class:`LoadReport`.
+
+    Parameters
+    ----------
+    url : str
+        Server root, e.g. ``"http://127.0.0.1:8765"``.
+    payloads : Sequence[dict]
+        ``/compile`` payloads, issued round-robin (request ``i`` sends
+        ``payloads[i % len(payloads)]``) so the mix is deterministic.
+    requests : int, optional
+        Total number of requests across all workers.
+    concurrency : int, optional
+        Number of closed-loop worker threads.
+    timeout : float, optional
+        Per-request timeout in seconds.
+
+    Returns
+    -------
+    LoadReport
+        Aggregated latencies, throughput, error and cache-hit counters.
+    """
+    if not payloads:
+        raise ValueError("loadgen needs at least one payload")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+
+    report = LoadReport()
+    lock = threading.Lock()
+    counter = itertools.count()
+
+    def worker() -> None:
+        """One closed-loop client: issue requests until the counter runs out."""
+        client = ServiceClient(url, timeout=timeout)
+        while True:
+            index = next(counter)
+            if index >= requests:
+                return
+            payload = payloads[index % len(payloads)]
+            started = time.perf_counter()
+            error = None
+            cache_hit = False
+            coalesced = False
+            try:
+                body = client.compile_payload(payload)
+                cache_hit = bool(body.get("cache_hit"))
+                coalesced = bool(body.get("coalesced"))
+            except ServiceError as exc:
+                error = str(exc)
+            latency = time.perf_counter() - started
+            with lock:
+                report.requests += 1
+                if error is None:
+                    report.latencies_seconds.append(latency)
+                    report.cache_hits += int(cache_hit)
+                    report.coalesced += int(coalesced)
+                else:
+                    report.errors += 1
+                    if len(report.first_errors) < 3:
+                        report.first_errors.append(error)
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=worker, name=f"repro-loadgen-{i}", daemon=True)
+        for i in range(min(concurrency, requests))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.wall_seconds = time.perf_counter() - started
+    return report

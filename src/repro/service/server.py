@@ -1,0 +1,472 @@
+"""The long-running compilation server.
+
+A :class:`CompileService` wraps the batch pipeline for interactive traffic:
+
+* synchronous single compilations go through a
+  :class:`repro.service.batcher.MicroBatcher`, so concurrent requests are
+  executed together on one :class:`repro.pipeline.runner.BatchRunner`;
+* whole sweeps are submitted asynchronously and polled by job id;
+* a persistent disk :class:`repro.pipeline.cache.ResultCache` (pass
+  ``cache_dir``) answers repeated traffic without recompiling.
+
+:class:`CompileServer` exposes the service over HTTP (stdlib
+:class:`http.server.ThreadingHTTPServer`, JSON bodies):
+
+======  ==================  =================================================
+method  path                behaviour
+======  ==================  =================================================
+POST    ``/compile``        run one job, respond with its result record
+POST    ``/batch``          submit a list of jobs, respond with a job id
+GET     ``/status/<job>``   progress/results of a submitted batch
+GET     ``/healthz``        liveness, uptime, batching and cache counters
+======  ==================  =================================================
+
+Start one from the shell with ``repro serve`` and point ``repro loadgen`` (or
+any HTTP client) at it::
+
+    repro serve --port 8765 --cache-dir .repro-service-cache
+    curl -s localhost:8765/healthz
+    curl -s -X POST localhost:8765/compile \\
+        -d '{"family": "lattice", "size": 12, "kind": "compile"}'
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+import uuid
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.pipeline.jobs import BatchJob
+from repro.pipeline.runner import BatchRunner, JobOutcome
+from repro.service.batcher import MicroBatcher
+
+__all__ = [
+    "CompileService",
+    "CompileServer",
+    "ServiceBusyError",
+    "ServiceRequestError",
+    "start_server",
+]
+
+
+class ServiceRequestError(ValueError):
+    """A client-side error: malformed payload, unknown family/kind/backend."""
+
+
+class ServiceBusyError(RuntimeError):
+    """Backpressure: the async-batch queue is full (HTTP 429)."""
+
+
+def _outcome_payload(outcome: JobOutcome) -> dict:
+    """JSON body describing one job outcome."""
+    return {
+        "ok": outcome.ok,
+        "label": outcome.job.label,
+        "cache_hit": outcome.cache_hit,
+        "coalesced": outcome.coalesced,
+        "elapsed_seconds": outcome.elapsed_seconds,
+        "error": outcome.error,
+        "result": outcome.result,
+    }
+
+
+class _AsyncBatch:
+    """Book-keeping for one asynchronously submitted batch."""
+
+    def __init__(self, job_id: str, num_jobs: int):
+        self.job_id = job_id
+        self.num_jobs = num_jobs
+        self.status = "queued"
+        self.submitted_at = time.time()
+        self.report = None
+        self.error: str | None = None
+
+    def payload(self) -> dict:
+        """JSON body for ``/status/<job>``."""
+        body = {
+            "job_id": self.job_id,
+            "status": self.status,
+            "num_jobs": self.num_jobs,
+            "age_seconds": time.time() - self.submitted_at,
+        }
+        if self.error is not None:
+            body["error"] = self.error
+        if self.report is not None:
+            body["summary"] = self.report.summary()
+            body["outcomes"] = [
+                _outcome_payload(outcome) for outcome in self.report.outcomes
+            ]
+        return body
+
+
+class CompileService:
+    """The server-side state: runner, micro-batcher, async jobs, counters.
+
+    Parameters
+    ----------
+    cache_dir : str | None, optional
+        Directory for the persistent content-hash result cache; ``None``
+        disables caching (every request recompiles).
+    max_workers : int, optional
+        Process-pool width of the underlying :class:`BatchRunner`; ``1``
+        compiles in-process (the safe default for a threaded server).
+    batch_window_seconds : float, optional
+        Micro-batching window for concurrent ``/compile`` requests.
+    max_batch : int, optional
+        Maximum jobs per micro-batch.
+    """
+
+    #: Async batches kept around for ``/status`` polling; beyond this cap the
+    #: oldest *finished* entries are evicted.
+    max_tracked_batches = 256
+
+    #: Maximum queued-or-running async batches; further ``/batch``
+    #: submissions are rejected with HTTP 429.  Together with the eviction
+    #: cap this bounds the server's memory under steady ``/batch`` traffic.
+    max_pending_batches = 32
+
+    def __init__(
+        self,
+        cache_dir: str | None = None,
+        max_workers: int = 1,
+        batch_window_seconds: float = 0.02,
+        max_batch: int = 32,
+    ):
+        self.runner = BatchRunner(max_workers=max_workers, cache_dir=cache_dir)
+        self.batcher = MicroBatcher(
+            self.runner, window_seconds=batch_window_seconds, max_batch=max_batch
+        )
+        self.started_at = time.time()
+        self._batches: dict[str, _AsyncBatch] = {}
+        self._lock = threading.Lock()
+        self._requests_served = 0
+        self._closed = threading.Event()
+        # One worker executes async batches sequentially: concurrent /batch
+        # submissions queue up instead of spawning unbounded compile threads
+        # (synchronous /compile traffic keeps its own micro-batcher lane).
+        self._batch_queue: queue.Queue[tuple[_AsyncBatch, list[BatchJob]] | None] = (
+            queue.Queue()
+        )
+        self._batch_thread = threading.Thread(
+            target=self._batch_loop, name="repro-batch-worker", daemon=True
+        )
+        self._batch_thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Operations (also usable in-process, without HTTP)
+    # ------------------------------------------------------------------ #
+
+    def compile(self, payload: dict) -> dict:
+        """Run one job synchronously (micro-batched) and return its record.
+
+        Parameters
+        ----------
+        payload : dict
+            A job description accepted by
+            :meth:`repro.pipeline.jobs.BatchJob.from_dict`.
+
+        Returns
+        -------
+        dict
+            The outcome body (``ok``/``cache_hit``/``result``/``error``).
+        """
+        job = self._parse_job(payload)
+        outcome = self.batcher.submit(job)
+        with self._lock:
+            self._requests_served += 1
+        return _outcome_payload(outcome)
+
+    def submit_batch(self, payload: dict) -> dict:
+        """Start a batch in the background and return its job id.
+
+        Parameters
+        ----------
+        payload : dict
+            ``{"jobs": [<job payload>, ...]}``.
+
+        Returns
+        -------
+        dict
+            ``{"job_id": ..., "num_jobs": ...}``; poll with :meth:`status`.
+
+        Raises
+        ------
+        ServiceBusyError
+            When :attr:`max_pending_batches` submissions are already queued
+            or running (surfaces as HTTP 429).
+        """
+        if not isinstance(payload, dict) or "jobs" not in payload:
+            raise ServiceRequestError("batch payload needs a 'jobs' list")
+        raw_jobs = payload["jobs"]
+        if not isinstance(raw_jobs, list) or not raw_jobs:
+            raise ServiceRequestError("'jobs' must be a non-empty list")
+        jobs = [self._parse_job(entry) for entry in raw_jobs]
+        job_id = uuid.uuid4().hex[:12]
+        batch = _AsyncBatch(job_id, len(jobs))
+        with self._lock:
+            pending = sum(
+                1
+                for tracked in self._batches.values()
+                if tracked.status in ("queued", "running")
+            )
+            if pending >= self.max_pending_batches:
+                raise ServiceBusyError(
+                    f"{pending} batches already queued or running; retry later"
+                )
+            self._batches[job_id] = batch
+            self._evict_finished_batches()
+        self._batch_queue.put((batch, jobs))
+        return {"job_id": job_id, "num_jobs": len(jobs)}
+
+    def status(self, job_id: str) -> dict | None:
+        """Status body for an async batch, or ``None`` if the id is unknown."""
+        with self._lock:
+            batch = self._batches.get(job_id)
+        return batch.payload() if batch is not None else None
+
+    def healthz(self) -> dict:
+        """Liveness body: uptime, request, batching and cache counters."""
+        import repro
+
+        cache = self.runner.cache
+        with self._lock:
+            requests_served = self._requests_served
+            num_batches = len(self._batches)
+        return {
+            "status": "ok",
+            "version": repro.__version__,
+            "uptime_seconds": time.time() - self.started_at,
+            "requests_served": requests_served,
+            "async_batches": num_batches,
+            "microbatcher": self.batcher.stats.as_dict(),
+            "cache": {
+                "enabled": cache is not None,
+                "hits": cache.hits if cache is not None else 0,
+                "misses": cache.misses if cache is not None else 0,
+                "entries": len(cache) if cache is not None else 0,
+            },
+        }
+
+    def close(self) -> None:
+        """Shut the micro-batcher and the batch worker down (idempotent)."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self.batcher.close()
+        self._batch_queue.put(None)
+        self._batch_thread.join(timeout=5.0)
+        self.runner.close()
+        # Fail anything still queued so /status never reports it running.
+        while True:
+            try:
+                item = self._batch_queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                item[0].error = "service shut down"
+                item[0].status = "error"
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _parse_job(payload: dict) -> BatchJob:
+        try:
+            return BatchJob.from_dict(payload)
+        except (ValueError, TypeError) as exc:
+            raise ServiceRequestError(str(exc)) from exc
+
+    def _batch_loop(self) -> None:
+        # The closed-flag check (not just the sentinel) matters: if close()
+        # times out waiting on a long batch and drains the queue — sentinel
+        # included — the worker must still exit when that batch finishes
+        # instead of blocking on an empty queue forever.
+        while not self._closed.is_set():
+            item = self._batch_queue.get()
+            if item is None:
+                return
+            self._run_batch(*item)
+
+    def _run_batch(self, batch: _AsyncBatch, jobs: list[BatchJob]) -> None:
+        batch.status = "running"
+        try:
+            report = self.runner.run(jobs)
+        except Exception as exc:  # noqa: BLE001 - reported through /status
+            batch.error = f"{type(exc).__name__}: {exc}"
+            batch.status = "error"
+            return
+        batch.report = report
+        batch.status = "done"
+        with self._lock:
+            self._requests_served += len(jobs)
+
+    def _evict_finished_batches(self) -> None:
+        """Drop the oldest finished batches beyond the cap (lock held)."""
+        overflow = len(self._batches) - self.max_tracked_batches
+        if overflow <= 0:
+            return
+        for job_id in [
+            job_id
+            for job_id, batch in self._batches.items()  # insertion order: oldest first
+            if batch.status in ("done", "error")
+        ][:overflow]:
+            del self._batches[job_id]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route HTTP requests to the :class:`CompileService`."""
+
+    protocol_version = "HTTP/1.1"
+    server: "CompileServer"
+
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Serve ``/healthz`` and ``/status/<job>``."""
+        if self.path == "/healthz":
+            self._send(200, self.server.service.healthz())
+            return
+        if self.path.startswith("/status/"):
+            job_id = self.path[len("/status/"):]
+            body = self.server.service.status(job_id)
+            if body is None:
+                self._send(404, {"error": f"unknown job id {job_id!r}"})
+            else:
+                self._send(200, body)
+            return
+        self._send(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Serve ``/compile`` and ``/batch``."""
+        # Read the body before routing: with HTTP/1.1 keep-alive an unread
+        # body would be parsed as the next request line, desyncing the
+        # connection for every response, 404s included.
+        try:
+            payload = self._read_json()
+        except ServiceRequestError as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        if self.path not in ("/compile", "/batch"):
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            if self.path == "/compile":
+                body = self.server.service.compile(payload)
+                self._send(200 if body["ok"] else 500, body)
+            else:
+                self._send(202, self.server.service.submit_batch(payload))
+        except ServiceRequestError as exc:
+            self._send(400, {"error": str(exc)})
+        except ServiceBusyError as exc:
+            self._send(429, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - never kill the server thread
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    # ------------------------------------------------------------------ #
+
+    def _read_json(self) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError as exc:
+            # Unknown body length: the connection cannot be re-synced.
+            self.close_connection = True
+            raise ServiceRequestError("bad Content-Length header") from exc
+        if length <= 0:
+            raise ServiceRequestError("request body must be a JSON object")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServiceRequestError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServiceRequestError("request body must be a JSON object")
+        return payload
+
+    def _send(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Log to stderr only when the server was started verbose."""
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+
+class CompileServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one :class:`CompileService`.
+
+    Parameters
+    ----------
+    address : tuple[str, int]
+        ``(host, port)`` to bind; port ``0`` picks a free port (see
+        ``server_address`` for the chosen one).
+    service : CompileService
+        The service instance requests are routed to.
+    verbose : bool, optional
+        Log one line per request to stderr.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: CompileService,
+        verbose: bool = False,
+    ):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+
+    def shutdown(self) -> None:
+        """Stop serving and shut the service down."""
+        super().shutdown()
+        self.service.close()
+
+
+def start_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache_dir: str | None = None,
+    max_workers: int = 1,
+    batch_window_seconds: float = 0.02,
+    max_batch: int = 32,
+    verbose: bool = False,
+) -> tuple[CompileServer, threading.Thread]:
+    """Build a service and serve it on a daemon thread (for tests/loadgen).
+
+    Parameters
+    ----------
+    host, port : str, int
+        Bind address; port ``0`` picks a free port.
+    cache_dir : str | None
+        Persistent result-cache directory (``None`` disables caching).
+    max_workers, batch_window_seconds, max_batch
+        Forwarded to :class:`CompileService`.
+    verbose : bool
+        Log requests to stderr.
+
+    Returns
+    -------
+    tuple[CompileServer, threading.Thread]
+        The running server (query ``server.server_address`` for the bound
+        port) and its serving thread; call ``server.shutdown()`` when done.
+    """
+    service = CompileService(
+        cache_dir=cache_dir,
+        max_workers=max_workers,
+        batch_window_seconds=batch_window_seconds,
+        max_batch=max_batch,
+    )
+    server = CompileServer((host, port), service, verbose=verbose)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    return server, thread

@@ -203,6 +203,7 @@ def solve_binary_program(
     budget_exhausted = False
 
     def optimistic_bound(assignment: dict[str, int]) -> float:
+        """Best objective reachable from a partial assignment."""
         bound = program._objective_constant
         for var in variables:
             coeff = objective[var]
@@ -213,6 +214,7 @@ def solve_binary_program(
         return bound
 
     def recurse(index: int, assignment: dict[str, int]) -> None:
+        """Branch on variable ``index`` with the current partial assignment."""
         nonlocal best_assignment, best_value, nodes, budget_exhausted
         if budget_exhausted:
             return

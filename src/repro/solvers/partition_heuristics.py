@@ -72,6 +72,7 @@ def balanced_greedy_partition(
     blocks: list[list[Vertex]] = []
 
     def sort_key(v: Vertex) -> tuple[int, str]:
+        """Order vertices by descending degree, ties by repr."""
         return (-graph.degree(v), repr(v))
 
     while unassigned:

@@ -50,6 +50,7 @@ def _canonicalise_dense(state: StabilizerState) -> np.ndarray:
     columns = [("x", j) for j in range(n)] + [("z", j) for j in range(n)]
 
     def column_bit(row: int, col: tuple[str, int]) -> int:
+        """The X- or Z-part bit of ``row`` in logical column ``col``."""
         kind, j = col
         return int(x[row, j]) if kind == "x" else int(z[row, j])
 

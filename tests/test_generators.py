@@ -4,18 +4,37 @@ from __future__ import annotations
 
 import pytest
 
+from repro.graphs.entanglement import minimum_emitters
 from repro.graphs.generators import (
     benchmark_graph,
     complete_graph,
+    erdos_renyi_graph,
+    ghz_graph,
     lattice_graph,
     linear_cluster,
+    percolated_lattice,
+    random_regular_graph,
     random_tree,
     repeater_graph_state,
     ring_graph,
+    rotated_surface_code_graph,
     star_graph,
+    steane_code_graph,
     tree_graph,
+    watts_strogatz_graph,
     waxman_graph,
 )
+from repro.utils.backend import use_backend
+
+
+def assert_emitters_match_dense_oracle(graph) -> int:
+    """Emitter count of ``graph`` on the packed path, checked against dense."""
+    with use_backend("packed"):
+        packed = minimum_emitters(graph)
+    with use_backend("dense"):
+        dense = minimum_emitters(graph)
+    assert packed == dense
+    return packed
 
 
 class TestLattice:
@@ -121,6 +140,130 @@ class TestSimpleFamilies:
         outer_degrees = [graph.degree(v) for v in range(4, 8)]
         assert all(d == 4 for d in inner_degrees)
         assert all(d == 1 for d in outer_degrees)
+
+
+class TestRandomRegular:
+    def test_regularity_and_connectivity(self):
+        graph = random_regular_graph(12, degree=3, seed=4)
+        assert graph.num_vertices == 12
+        assert all(graph.degree(v) == 3 for v in graph.vertices())
+        assert graph.is_connected()
+        assert assert_emitters_match_dense_oracle(graph) >= 1
+
+    def test_deterministic_for_seed(self):
+        assert random_regular_graph(10, seed=7) == random_regular_graph(10, seed=7)
+        assert random_regular_graph(10, seed=7) != random_regular_graph(10, seed=8)
+
+    def test_degree_zero_is_edgeless(self):
+        graph = random_regular_graph(5, degree=0, seed=1)
+        assert graph.num_edges == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(9, degree=3)  # odd degree sum
+        with pytest.raises(ValueError):
+            random_regular_graph(4, degree=4)  # degree >= n
+
+
+class TestWattsStrogatz:
+    def test_structure_and_connectivity(self):
+        graph = watts_strogatz_graph(16, k=4, rewire_probability=0.2, seed=6)
+        assert graph.num_vertices == 16
+        # Rewiring preserves the edge count of the ring lattice: n * k / 2.
+        assert graph.num_edges == 16 * 4 // 2
+        assert graph.is_connected()
+        assert_emitters_match_dense_oracle(graph)
+
+    def test_deterministic_for_seed(self):
+        assert watts_strogatz_graph(12, seed=3) == watts_strogatz_graph(12, seed=3)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(2)
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, k=1)
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, rewire_probability=1.5)
+
+
+class TestErdosRenyi:
+    def test_default_probability_is_connected(self):
+        graph = erdos_renyi_graph(20, seed=1)
+        assert graph.num_vertices == 20
+        assert graph.is_connected()
+        assert_emitters_match_dense_oracle(graph)
+
+    def test_density_scales_with_probability(self):
+        sparse = erdos_renyi_graph(20, 0.1, seed=5, ensure_connected=False)
+        dense = erdos_renyi_graph(20, 0.8, seed=5, ensure_connected=False)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_deterministic_for_seed(self):
+        assert erdos_renyi_graph(15, seed=9) == erdos_renyi_graph(15, seed=9)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, edge_probability=1.5)
+
+
+class TestPercolatedLattice:
+    def test_subgraph_of_the_full_lattice_and_connected(self):
+        full = lattice_graph(5, 5)
+        graph = percolated_lattice(5, 5, survival=0.7, seed=2)
+        assert graph.num_vertices == full.num_vertices
+        assert set(graph.edges()) <= set(full.edges())
+        assert graph.is_connected()
+        assert_emitters_match_dense_oracle(graph)
+
+    def test_survival_one_is_the_perfect_lattice(self):
+        assert percolated_lattice(4, 4, survival=1.0, seed=0) == lattice_graph(4, 4)
+
+    def test_drops_edges_below_survival_one(self):
+        graph = percolated_lattice(6, 6, survival=0.5, seed=3, ensure_connected=False)
+        assert graph.num_edges < lattice_graph(6, 6).num_edges
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            percolated_lattice(4, 4, survival=0.0)
+
+
+class TestQECFlavouredStates:
+    def test_ghz_star_and_complete_representations(self):
+        star = ghz_graph(8)
+        assert star.num_edges == 7 and star.degree(0) == 7
+        complete = ghz_graph(5, representation="complete")
+        assert complete.num_edges == 10
+        with pytest.raises(ValueError):
+            ghz_graph(5, representation="w")
+        # Star and complete are LC-equivalent, so emitter counts agree.
+        assert assert_emitters_match_dense_oracle(star) >= 1
+
+    def test_steane_code_graph_structure(self):
+        graph = steane_code_graph()
+        assert graph.num_vertices == 7
+        assert graph.num_edges == 9
+        assert graph.is_connected()
+        # Bipartite: 4 data vertices, 3 weight-3 check vertices.
+        assert sorted(graph.degree(v) for v in range(4, 7)) == [3, 3, 3]
+        assert_emitters_match_dense_oracle(graph)
+
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_rotated_surface_code_counts(self, distance):
+        graph = rotated_surface_code_graph(distance)
+        data = distance**2
+        checks = (distance**2 - 1) // 2
+        assert graph.num_vertices == data + checks
+        assert graph.is_connected()
+        # Check vertices touch 2 (boundary) or 4 (bulk) data qubits.
+        check_degrees = [graph.degree(v) for v in range(data, data + checks)]
+        assert set(check_degrees) <= {2, 4}
+        assert_emitters_match_dense_oracle(graph)
+
+    def test_surface_code_rejects_even_or_small_distance(self):
+        with pytest.raises(ValueError):
+            rotated_surface_code_graph(2)
+        with pytest.raises(ValueError):
+            rotated_surface_code_graph(1)
 
 
 class TestBenchmarkDispatch:

@@ -26,6 +26,46 @@ class TestGraphSpec:
         with pytest.raises(ValueError):
             GraphSpec(family="lattice", size=0)
 
+    def test_builds_every_zoo_family(self):
+        for family, size in (
+            ("regular", 10),
+            ("smallworld", 10),
+            ("erdos", 10),
+            ("percolated", 10),
+            ("ghz", 10),
+            ("steane", 7),
+            ("surface", 3),
+        ):
+            graph = GraphSpec(family=family, size=size, seed=5).build()
+            assert graph.num_vertices >= 4
+            assert graph.is_connected()
+
+    def test_zoo_structural_constraints(self):
+        with pytest.raises(ValueError):
+            GraphSpec(family="steane", size=8)  # the code is fixed at 7
+        with pytest.raises(ValueError):
+            GraphSpec(family="surface", size=4)  # distance must be odd
+        with pytest.raises(ValueError):
+            GraphSpec(family="regular", size=3)  # too small for degree 3/4
+
+    def test_zoo_families_compile_through_the_batch_runner(self):
+        jobs = [
+            BatchJob(graph=GraphSpec(family, size, seed=5), kind="compile")
+            for family, size in (
+                ("regular", 8),
+                ("smallworld", 8),
+                ("erdos", 8),
+                ("percolated", 8),
+                ("ghz", 8),
+                ("steane", 7),
+                ("surface", 3),
+            )
+        ]
+        report = BatchRunner().run(jobs)
+        assert report.num_errors == 0
+        for outcome in report.outcomes:
+            assert outcome.result["ours"]["num_emitters"] >= 1
+
 
 class TestBatchJob:
     def test_content_hash_is_stable_and_sensitive(self):
@@ -44,6 +84,39 @@ class TestBatchJob:
             BatchJob(graph=spec, backend="simd")
         with pytest.raises(ValueError):
             BatchJob(graph=spec, hardware="abacus")
+
+    def test_from_dict_roundtrips_as_dict(self):
+        job = BatchJob(
+            graph=GraphSpec("surface", 3, seed=2),
+            kind="compile",
+            emitter_limit_factor=2.0,
+            backend="dense",
+            config_overrides=(("lc_budget", 0),),
+        )
+        rebuilt = BatchJob.from_dict(json.loads(json.dumps(job.as_dict())))
+        assert rebuilt == job
+        assert rebuilt.content_hash == job.content_hash
+
+    def test_from_dict_accepts_flat_graph_keys(self):
+        job = BatchJob.from_dict({"family": "lattice", "size": 9, "kind": "compile"})
+        assert job.graph == GraphSpec("lattice", 9)
+        assert job.kind == "compile"
+
+    def test_from_dict_accepts_mapping_config_overrides(self):
+        job = BatchJob.from_dict(
+            {"family": "lattice", "size": 9, "config_overrides": {"lc_budget": 0}}
+        )
+        assert job.config_overrides == (("lc_budget", 0),)
+
+    def test_from_dict_rejects_unknown_keys_and_missing_graph(self):
+        with pytest.raises(ValueError):
+            BatchJob.from_dict({"family": "lattice", "size": 9, "sizee": 2})
+        with pytest.raises(ValueError):
+            BatchJob.from_dict({"kind": "compile"})
+        with pytest.raises(ValueError):
+            BatchJob.from_dict({"graph": {"family": "lattice", "size": 9, "x": 1}})
+        with pytest.raises(ValueError):
+            BatchJob.from_dict("not-a-mapping")
 
     def test_job_description_is_json_serialisable(self):
         job = BatchJob(
@@ -145,6 +218,20 @@ class TestBatchRunner:
             assert metrics(left) == metrics(right)
             assert left["baseline"] == right["baseline"]
 
+    def test_identical_jobs_in_one_batch_are_coalesced(self):
+        job = BatchJob(graph=GraphSpec("linear", 7), kind="compile")
+        report = BatchRunner().run([job, job, job])
+        assert report.num_errors == 0
+        # cache_hit stays reserved for the persistent cache (none here).
+        assert [o.cache_hit for o in report.outcomes] == [False, False, False]
+        assert [o.coalesced for o in report.outcomes] == [False, True, True]
+        assert report.num_coalesced == 2
+        assert report.outcomes[1].result == report.outcomes[0].result
+        # Duplicates cost nothing: total compute equals the single run.
+        assert report.summary()["compute_seconds"] == pytest.approx(
+            report.outcomes[0].elapsed_seconds
+        )
+
     def test_job_error_is_captured_not_raised(self):
         # A repeater spec needs >= 2 arms to mean anything; size 1 yields a
         # 2-vertex graph, so force a failure via an invalid config override.
@@ -210,5 +297,6 @@ class TestBatchCLI:
         argv = ["batch", "--families", "repeater", "--sizes", "1", "--kind", "duration"]
         exit_code = cli_main(argv)
         out = capsys.readouterr().out
-        assert exit_code in (0, 1)
+        # Job errors surface as the batch-specific exit code (5), clean runs as 0.
+        assert exit_code in (0, 5)
         assert "jobs: 1" in out
