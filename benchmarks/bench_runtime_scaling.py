@@ -17,7 +17,10 @@ Environment knobs (used by the CI smoke job to keep runtimes tiny):
   (default ``10,20,40,60``);
 * ``REPRO_BENCH_KERNEL_QUBITS`` — graph size for the kernel speedup
   measurements (default ``512``; speedup assertions only apply from 256
-  qubits up, below that the benchmark just exercises the code paths).
+  qubits up, below that the benchmark just exercises the code paths);
+* ``REPRO_BENCH_HEIGHT_QUBITS`` — graph size for the incremental
+  height-function case (default ``256``; the >=5x incremental-vs-naive
+  assertion only applies from 256 qubits up).
 """
 
 from __future__ import annotations
@@ -28,8 +31,10 @@ import time
 import numpy as np
 
 from repro.evaluation.figures import runtime_scaling
-from repro.graphs.entanglement import cut_rank
+from repro.evaluation.perf import naive_height_function
+from repro.graphs.entanglement import cut_rank, height_function
 from repro.graphs.graph_state import GraphState
+from repro.graphs.incremental import CutRankEngine
 from repro.stabilizer.canonical import canonical_stabilizer_matrix
 from repro.stabilizer.tableau import StabilizerState
 
@@ -43,10 +48,16 @@ def _env_sizes(name: str, default: tuple[int, ...]) -> tuple[int, ...]:
 
 SIZES = _env_sizes("REPRO_BENCH_SIZES", (10, 20, 40, 60))
 KERNEL_QUBITS = int(os.environ.get("REPRO_BENCH_KERNEL_QUBITS", "512"))
+HEIGHT_QUBITS = int(os.environ.get("REPRO_BENCH_HEIGHT_QUBITS", "256"))
 
 #: Assert the packed backend is at least this many times faster (only at
 #: KERNEL_QUBITS >= 256; generous vs the typical 3-6x to absorb CI noise).
 MIN_KERNEL_SPEEDUP = 2.5
+
+#: Assert the incremental height-function sweep beats the naive
+#: one-rank-per-prefix evaluation by at least this factor (only at
+#: HEIGHT_QUBITS >= 256; typical measurements are well above 10x).
+MIN_HEIGHT_SPEEDUP = 5.0
 
 
 def _run():
@@ -152,3 +163,46 @@ def test_gf2_backend_speedup(benchmark):
     if n >= 256:
         assert cut_speedup >= MIN_KERNEL_SPEEDUP
         assert canon_speedup >= MIN_KERNEL_SPEEDUP
+
+
+# --------------------------------------------------------------------------- #
+# Incremental vs naive height function
+# --------------------------------------------------------------------------- #
+
+
+def test_height_function_incremental_speedup(benchmark):
+    """One engine sweep vs one from-scratch cut rank per prefix.
+
+    The heights must be bit-identical, and at ``n >= 256`` the incremental
+    engine must be at least ``MIN_HEIGHT_SPEEDUP`` times faster than the
+    naive evaluation on the same (packed) kernel.  The public
+    ``height_function`` entry point must route to the engine-backed path.
+    """
+    n = HEIGHT_QUBITS
+    graph = _random_graph(n)
+    ordering = graph.vertices()
+
+    def measure():
+        naive_heights = naive_height_function(graph, ordering)
+        engine_heights = CutRankEngine(graph, checkpoint=False).heights(ordering)
+        assert engine_heights == naive_heights
+        assert height_function(graph, ordering, backend="packed") == naive_heights
+        naive_s = _median_seconds(
+            lambda: naive_height_function(graph, ordering), repeats=3
+        )
+        engine_s = _median_seconds(
+            lambda: CutRankEngine(graph, checkpoint=False).heights(ordering),
+            repeats=3,
+        )
+        return naive_s, engine_s
+
+    naive_s, engine_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = naive_s / engine_s
+    print()
+    print(
+        f"height function @ {n} qubits: naive {naive_s * 1e3:.2f} ms, "
+        f"incremental {engine_s * 1e3:.2f} ms, speedup {speedup:.1f}x"
+    )
+    benchmark.extra_info["height_function_speedup"] = speedup
+    if n >= 256:
+        assert speedup >= MIN_HEIGHT_SPEEDUP

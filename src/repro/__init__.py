@@ -82,6 +82,7 @@ from repro.circuit.validation import (
 )
 from repro.core.compiler import CompilationResult, EmitterCompiler, compile_graph
 from repro.core.config import CompilerConfig
+from repro.core.ordering import OrderingResult, optimize_emission_ordering
 from repro.graphs.entanglement import cut_rank, height_function, minimum_emitters
 from repro.graphs.generators import (
     benchmark_graph,
@@ -103,6 +104,7 @@ from repro.graphs.generators import (
     waxman_graph,
 )
 from repro.graphs.graph_state import GraphState
+from repro.graphs.incremental import CutRankEngine
 from repro.hardware.loss import PhotonLossModel
 from repro.hardware.models import (
     HardwareModel,
@@ -124,7 +126,7 @@ from repro.utils.backend import (
     use_backend,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -143,6 +145,8 @@ __all__ = [
     "EmitterCompiler",
     "compile_graph",
     "CompilerConfig",
+    "OrderingResult",
+    "optimize_emission_ordering",
     "cut_rank",
     "height_function",
     "minimum_emitters",
@@ -164,6 +168,7 @@ __all__ = [
     "watts_strogatz_graph",
     "waxman_graph",
     "GraphState",
+    "CutRankEngine",
     "PhotonLossModel",
     "HardwareModel",
     "get_hardware_model",

@@ -14,6 +14,11 @@ arbitrary graphs:
 * the final circuit is scheduled **as soon as possible**, with no loss-aware
   re-ordering.
 
+The reported ``minimum_emitters`` bound is evaluated through the
+engine-backed fast path of :func:`repro.graphs.entanglement.height_function`
+(one incremental sweep on the packed backend), so baselining large graphs no
+longer pays one from-scratch rank solve per prefix.
+
 The baseline optionally accepts a larger emitter budget (``emitter_limit``)
 so that the Fig. 10(d)-(f) comparisons at ``N_e^limit = 1.5/2 x N_e^min`` give
 it the same hardware resources as the framework; extra emitters are used only

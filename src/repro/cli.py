@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the common workflows:
+Six subcommands cover the common workflows:
 
 * ``repro compile`` — compile one benchmark graph and print the circuit
   metrics (optionally the gate listing);
@@ -11,24 +11,29 @@ Five subcommands cover the common workflows:
 * ``repro serve`` — run the long-running compilation server (HTTP + JSON,
   micro-batching, persistent result cache);
 * ``repro loadgen`` — drive a server closed-loop and report throughput,
-  latency percentiles and the cache-hit rate.
+  latency percentiles and the cache-hit rate;
+* ``repro bench`` — run the emitter perf-trajectory benchmark
+  (naive-vs-incremental height function) and write ``BENCH_emitters.json``.
 
 Examples::
 
     repro --version
     repro compile --family lattice --size 20
     repro compile --family tree --size 30 --baseline --verify
+    repro compile --family random --size 24 --ordering anneal --verify
     repro figure fig10a
     repro figure zoo
     repro batch --families lattice tree --sizes 10 20 --seeds 11 12 --workers 4
     repro batch --families regular smallworld erdos --sizes 12 16 --cache-dir .repro-cache
+    repro batch --families ghz surface --sizes 9 --ordering greedy
     repro serve --port 8765 --cache-dir .repro-service-cache
     repro loadgen --url http://127.0.0.1:8765 --families lattice --sizes 10 14
     repro loadgen --self-serve --cache-dir .repro-service-cache --requests 40
+    repro bench --sizes 64 128 256 --output BENCH_emitters.json
 
 Every subcommand exits with its own non-zero code on failure so scripts can
 tell what broke: ``2`` usage (argparse), ``3`` compile, ``4`` figure, ``5``
-batch, ``6`` serve, ``7`` loadgen.
+batch, ``6`` serve, ``7`` loadgen, ``8`` bench.
 
 (The ``repro-emitter`` alias of the console script is kept for backwards
 compatibility.)
@@ -45,6 +50,7 @@ from repro.core.compiler import EmitterCompiler
 from repro.evaluation.experiments import fast_config, sweep_jobs
 from repro.evaluation import figures
 from repro.evaluation.report import render_table
+from repro.core.ordering import ORDERING_STRATEGIES
 from repro.graphs.generators import benchmark_graph
 from repro.pipeline.jobs import GRAPH_FAMILIES, JOB_KINDS
 from repro.pipeline.runner import BatchRunner
@@ -59,6 +65,7 @@ __all__ = [
     "EXIT_BATCH",
     "EXIT_SERVE",
     "EXIT_LOADGEN",
+    "EXIT_BENCH",
 ]
 
 #: Exit codes, one per subcommand, so callers can tell failures apart
@@ -69,6 +76,7 @@ EXIT_FIGURE = 4
 EXIT_BATCH = 5
 EXIT_SERVE = 6
 EXIT_LOADGEN = 7
+EXIT_BENCH = 8
 
 _FIGURES = {
     "fig5": lambda args: figures.figure5_emitter_usage(),
@@ -132,6 +140,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(BACKENDS),
         default=None,
         help="GF(2)/tableau kernel backend (default: process default, packed)",
+    )
+    compile_parser.add_argument(
+        "--ordering",
+        choices=list(ORDERING_STRATEGIES),
+        default=None,
+        help="emission-ordering search strategy (default: natural order)",
     )
     compile_parser.add_argument(
         "--baseline", action="store_true", help="also compile with the baseline"
@@ -209,6 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(BACKENDS),
         default=None,
         help="GF(2)/tableau kernel backend pinned for every job",
+    )
+    batch_parser.add_argument(
+        "--ordering",
+        choices=list(ORDERING_STRATEGIES),
+        default=None,
+        help="emission-ordering strategy pinned on every job",
     )
     batch_parser.add_argument(
         "--verify", action="store_true", help="verify every compiled circuit"
@@ -322,14 +342,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also dump the report summary to this JSON file",
     )
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the emitter perf-trajectory benchmark (naive vs incremental "
+        "height function) and write BENCH_emitters.json",
+    )
+    bench_parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="graph sizes to sweep (default: 64 128 256 512)",
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repetitions per point"
+    )
+    bench_parser.add_argument(
+        "--seed", type=int, default=2025, help="graph-sampling seed"
+    )
+    bench_parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=None,
+        help="GF(2) backend for both evaluations (default: process default)",
+    )
+    bench_parser.add_argument(
+        "--output",
+        default="BENCH_emitters.json",
+        help="where to write the benchmark record",
+    )
     return parser
 
 
 def _run_compile(args: argparse.Namespace) -> int:
     graph = benchmark_graph(args.family, args.size, seed=args.seed)
+    overrides: dict[str, object] = {"gf2_backend": args.backend}
+    if args.ordering is not None:
+        overrides["ordering_strategy"] = args.ordering
     config = fast_config(
         emitter_limit_factor=args.emitter_factor, verify=args.verify
-    ).with_overrides(gf2_backend=args.backend)
+    ).with_overrides(**overrides)
     result = EmitterCompiler(config).compile(graph)
     print(f"graph: {args.family} with {graph.num_vertices} qubits, {graph.num_edges} edges")
     print("framework result:")
@@ -380,6 +433,7 @@ def _run_batch(args: argparse.Namespace) -> int:
             seed=seed,
             emitter_limit_factor=factor,
             backend=args.backend,
+            ordering=args.ordering,
             verify=args.verify,
         )
     ]
@@ -499,6 +553,41 @@ def _run_loadgen(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.evaluation.perf import DEFAULT_BENCH_SIZES, write_bench_file
+
+    sizes = tuple(args.sizes) if args.sizes else DEFAULT_BENCH_SIZES
+    record = write_bench_file(
+        args.output,
+        sizes=sizes,
+        repeats=args.repeats,
+        seed=args.seed,
+        backend=args.backend,
+    )
+    print(
+        render_table(
+            ["size", "naive_s", "incremental_s", "speedup", "natural_peak", "greedy_peak"],
+            [
+                [
+                    row["size"],
+                    f"{row['naive_median_seconds']:.4f}",
+                    f"{row['incremental_median_seconds']:.4f}",
+                    f"{row['speedup']:.1f}x",
+                    row["natural_peak"],
+                    row["greedy_peak"],
+                ]
+                for row in record["results"]
+            ],
+        )
+    )
+    print(
+        f"backend: {record['backend']}  git: {record['git_rev']}  "
+        f"repeats: {record['repeats']}"
+    )
+    print(f"wrote {args.output}")
+    return EXIT_OK
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -521,6 +610,7 @@ def main(argv: list[str] | None = None) -> int:
         "batch": (_run_batch, EXIT_BATCH),
         "serve": (_run_serve, EXIT_SERVE),
         "loadgen": (_run_loadgen, EXIT_LOADGEN),
+        "bench": (_run_bench, EXIT_BENCH),
     }
     handler, failure_code = handlers[args.command]
     try:

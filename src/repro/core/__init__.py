@@ -31,6 +31,11 @@ from repro.core.partition import GraphPartitioner, PartitionResult
 from repro.core.scheduler import ScheduledSubgraph, SubgraphScheduler, SchedulePlan
 from repro.core.config import CompilerConfig
 from repro.core.compiler import CompilationResult, EmitterCompiler
+from repro.core.ordering import (
+    ORDERING_STRATEGIES,
+    OrderingResult,
+    optimize_emission_ordering,
+)
 
 __all__ = [
     "InsufficientEmittersError",
@@ -50,4 +55,7 @@ __all__ = [
     "CompilerConfig",
     "CompilationResult",
     "EmitterCompiler",
+    "ORDERING_STRATEGIES",
+    "OrderingResult",
+    "optimize_emission_ordering",
 ]

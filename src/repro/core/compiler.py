@@ -37,6 +37,7 @@ from repro.circuit.metrics import CircuitMetrics, compute_metrics
 from repro.circuit.timing import Schedule, schedule_circuit
 from repro.circuit.validation import verify_circuit_generates
 from repro.core.config import CompilerConfig
+from repro.core.ordering import OrderingResult, optimize_emission_ordering
 from repro.core.partition import GraphPartitioner, PartitionResult
 from repro.core.reduction import ReductionSequence, ReductionState
 from repro.core.scheduler import SchedulePlan, SubgraphScheduler
@@ -67,6 +68,8 @@ class CompilationResult:
     emitter_limit: int
     compile_time_seconds: float
     verified: bool | None = None
+    ordering_strategy: str = "natural"
+    ordering_peak: int | None = None
 
     @property
     def num_emitter_emitter_cnots(self) -> int:
@@ -99,8 +102,11 @@ class CompilationResult:
                 "minimum_emitters": self.minimum_emitters,
                 "emitter_limit": self.emitter_limit,
                 "compile_time_seconds": self.compile_time_seconds,
+                "ordering_strategy": self.ordering_strategy,
             }
         )
+        if self.ordering_peak is not None:
+            data["ordering_peak"] = self.ordering_peak
         return data
 
 
@@ -134,8 +140,19 @@ class EmitterCompiler:
         partition = self._partitioner.partition(target_graph)
         working_graph = partition.transformed_graph
 
-        # 2. Emitter budget.
+        # 2. Emitter budget.  With an ordering strategy enabled the optimiser
+        # searches for an emission ordering with a lower peak height; the
+        # bound it certifies (never above the natural one) sizes the pool.
         n_e_min = minimum_emitters(working_graph)
+        ordering_search: OrderingResult | None = None
+        if config.ordering_strategy != "natural":
+            ordering_search = optimize_emission_ordering(
+                working_graph,
+                strategy=config.ordering_strategy,
+                seed=config.seed,
+                iterations=config.ordering_iterations,
+            )
+            n_e_min = min(n_e_min, max(ordering_search.peak_height, 1))
         if config.emitter_limit is not None:
             emitter_limit = config.emitter_limit
         else:
@@ -157,6 +174,12 @@ class EmitterCompiler:
         else:
             only = subgraph_results[0][min(subgraph_results[0])]
             candidate_plans = [[(only.processing_order, ())]]
+        if ordering_search is not None:
+            # The optimised emission ordering, replayed as a whole-graph
+            # processing plan (processing order is reversed emission time).
+            candidate_plans.append(
+                [(list(reversed(ordering_search.ordering)), ())]
+            )
 
         # 5. Global reduction with emitter affinity; among the candidate block
         # orderings produced by the scheduler, keep the one with the fewest
@@ -206,6 +229,10 @@ class EmitterCompiler:
             emitter_limit=emitter_limit,
             compile_time_seconds=elapsed,
             verified=verified,
+            ordering_strategy=config.ordering_strategy,
+            ordering_peak=(
+                ordering_search.peak_height if ordering_search is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------ #

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.core.ordering import ORDERING_STRATEGIES
 from repro.hardware.models import HardwareModel, quantum_dot
 from repro.utils.backend import BACKENDS
 
@@ -42,6 +43,15 @@ class CompilerConfig:
             per subgraph by the ordering search.
         exhaustive_order_threshold: subgraphs with at most this many vertices
             are searched exhaustively over all processing orders.
+        ordering_strategy: emission-ordering search over the incremental
+            cut-rank engine (:mod:`repro.core.ordering`): ``"natural"`` keeps
+            the historical vertex order, ``"greedy"`` runs the peak-height
+            descent, ``"anneal"`` additionally refines the greedy ordering by
+            simulated annealing with incremental suffix re-evaluation.  The
+            optimised ordering lowers the emitter bound and joins the
+            recombination candidates of the compiler.
+        ordering_iterations: annealing proposal steps for
+            ``ordering_strategy="anneal"``.
         scheduling_policy: gate-level scheduling policy for the final circuit
             (``"alap"`` delays emissions and is the framework default;
             ``"asap"`` reproduces baseline behaviour).
@@ -64,6 +74,8 @@ class CompilerConfig:
     flexible_emitter_slack: int = 2
     max_order_candidates: int = 120
     exhaustive_order_threshold: int = 6
+    ordering_strategy: str = "natural"
+    ordering_iterations: int = 150
     scheduling_policy: str = "alap"
     use_twin_rule: bool = True
     verify: bool = False
@@ -91,6 +103,13 @@ class CompilerConfig:
             raise ValueError("max_order_candidates must be >= 1")
         if self.exhaustive_order_threshold < 1:
             raise ValueError("exhaustive_order_threshold must be >= 1")
+        if self.ordering_strategy not in ORDERING_STRATEGIES:
+            raise ValueError(
+                f"ordering_strategy must be one of {ORDERING_STRATEGIES}, "
+                f"got {self.ordering_strategy!r}"
+            )
+        if self.ordering_iterations < 1:
+            raise ValueError("ordering_iterations must be >= 1")
         if self.scheduling_policy not in ("asap", "alap"):
             raise ValueError("scheduling_policy must be 'asap' or 'alap'")
         if self.gf2_backend is not None and self.gf2_backend not in BACKENDS:

@@ -27,6 +27,7 @@ import numpy as np
 from repro.circuit.circuit import Circuit
 from repro.circuit.metrics import CircuitMetrics, compute_metrics
 from repro.core.config import CompilerConfig
+from repro.core.ordering import optimize_emission_ordering
 from repro.core.reduction import ReductionSequence
 from repro.core.strategies import GreedyReductionStrategy, greedy_reduce
 from repro.graphs.entanglement import minimum_emitters
@@ -156,10 +157,30 @@ class SubgraphCompiler:
 
     # ------------------------------------------------------------------ #
 
+    def _optimised_ordering(self, subgraph: GraphState):
+        """Ordering-search result for ``subgraph`` (``None`` when disabled)."""
+        config = self.config
+        if config.ordering_strategy == "natural" or subgraph.num_vertices <= 1:
+            return None
+        return optimize_emission_ordering(
+            subgraph,
+            strategy=config.ordering_strategy,
+            seed=config.seed,
+            iterations=config.ordering_iterations,
+        )
+
     def compile(
-        self, subgraph: GraphState, emitter_budget: int | None = None
+        self,
+        subgraph: GraphState,
+        emitter_budget: int | None = None,
+        seeded_order: Sequence[Vertex] | None = None,
     ) -> SubgraphCompilationResult:
-        """Compile ``subgraph`` under a single emitter budget."""
+        """Compile ``subgraph`` under a single emitter budget.
+
+        ``seeded_order`` injects a precomputed processing order at the front
+        of the candidate pool; when omitted and an ordering strategy is
+        configured, the emission-ordering optimiser provides one.
+        """
         if subgraph.num_vertices == 0:
             raise ValueError("cannot compile an empty subgraph")
         config = self.config
@@ -175,6 +196,18 @@ class SubgraphCompiler:
             exhaustive_threshold=config.exhaustive_order_threshold,
             rng=self._rng,
         )
+        if seeded_order is None:
+            # Seed the search with the incremental-engine ordering optimiser:
+            # its low-peak emission ordering, replayed in reversed time, is a
+            # strong processing-order candidate under tight budgets.
+            optimised = self._optimised_ordering(subgraph)
+            if optimised is not None:
+                seeded_order = list(reversed(optimised.ordering))
+        if seeded_order is not None:
+            candidate = list(seeded_order)
+            if candidate in orders:
+                orders.remove(candidate)
+            orders.insert(0, candidate)
 
         best: tuple[tuple[float, float, float], SubgraphCompilationResult] | None = None
         for order in orders:
@@ -217,8 +250,17 @@ class SubgraphCompiler:
         outcome are still reported so the scheduler can reason uniformly.
         """
         base = minimum_emitters(subgraph)
+        seeded_order: list[Vertex] | None = None
+        optimised = self._optimised_ordering(subgraph)
+        if optimised is not None:
+            # One search serves every budget: it certifies a (possibly lower)
+            # per-subgraph emitter bound and seeds each order search.
+            base = min(base, max(optimised.peak_height, 1))
+            seeded_order = list(reversed(optimised.ordering))
         results: dict[int, SubgraphCompilationResult] = {}
         for slack in range(self.config.flexible_emitter_slack + 1):
             budget = base + slack
-            results[budget] = self.compile(subgraph, emitter_budget=budget)
+            results[budget] = self.compile(
+                subgraph, emitter_budget=budget, seeded_order=seeded_order
+            )
         return results

@@ -188,6 +188,7 @@ def sweep_jobs(
     seed: int = 11,
     emitter_limit_factor: float = 1.5,
     backend: str | None = None,
+    ordering: str | None = None,
     verify: bool = False,
     config_overrides: Sequence[tuple[str, object]] = (),
 ) -> list[BatchJob]:
@@ -195,7 +196,8 @@ def sweep_jobs(
 
     Matches the evaluation harness's graph construction exactly: point ``i``
     of the sweep uses ``seed + i``, so the produced metrics are identical to
-    the historical in-process loops.
+    the historical in-process loops.  ``ordering`` pins an emission-ordering
+    strategy (:data:`repro.core.ordering.ORDERING_STRATEGIES`) on every job.
     """
     return [
         BatchJob(
@@ -203,6 +205,7 @@ def sweep_jobs(
             kind=kind,
             emitter_limit_factor=emitter_limit_factor,
             backend=backend,
+            ordering=ordering,
             verify=verify,
             config_overrides=tuple(config_overrides),
         )

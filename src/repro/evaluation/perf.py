@@ -1,0 +1,203 @@
+"""Perf-trajectory benchmark behind ``repro bench``.
+
+The compiler's hot path is the height-function evaluation (one cut rank per
+emission prefix); PR-over-PR regressions there are invisible to the unit
+tests.  :func:`run_emitter_bench` pins the trajectory: it measures the naive
+from-scratch evaluation (one rank solve per prefix, the historical
+implementation) against the incremental
+:class:`repro.graphs.incremental.CutRankEngine` sweep on random graphs of
+increasing size, checks bit-identical heights, and records medians, the
+speedup, the active GF(2) backend and the git revision.
+
+``repro bench`` writes the result to ``BENCH_emitters.json`` so future PRs
+(and the CI bench-smoke artifact) can diff the numbers instead of guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.core.ordering import optimize_emission_ordering
+from repro.graphs.entanglement import cut_rank
+from repro.graphs.graph_state import GraphState
+from repro.graphs.incremental import CutRankEngine
+from repro.utils.backend import get_default_backend, resolve_backend, use_backend
+
+__all__ = [
+    "DEFAULT_BENCH_SIZES",
+    "bench_graph",
+    "naive_height_function",
+    "run_emitter_bench",
+    "write_bench_file",
+]
+
+Vertex = Hashable
+
+#: Default sweep for ``repro bench``: the assertion threshold sits at 256;
+#: 512 is the paper-scale point the trajectory targets (>= 10x incremental).
+DEFAULT_BENCH_SIZES = (64, 128, 256, 512)
+
+
+def bench_graph(num_vertices: int, seed: int = 2025) -> GraphState:
+    """The benchmark's random graph: ~6 random edges per vertex.
+
+    Dense enough that cut ranks are non-trivial at every prefix, sparse
+    enough to be realistic for photonic resource states.
+    """
+    rng = np.random.default_rng(seed)
+    graph = GraphState(vertices=range(num_vertices))
+    if num_vertices < 2:
+        return graph
+    for _ in range(6 * num_vertices):
+        u, v = rng.choice(num_vertices, size=2, replace=False)
+        graph.add_edge(int(u), int(v))
+    return graph
+
+
+def naive_height_function(
+    graph: GraphState,
+    ordering: Sequence[Vertex] | None = None,
+    backend: str | None = None,
+) -> list[int]:
+    """The pre-incremental height function: one cut rank per prefix.
+
+    Kept as the from-scratch comparator for the incremental engine — the
+    same GF(2) kernel, but ``O(n)`` independent rank solves instead of one
+    online sweep (``O(n^4 / w)`` vs ``O(n^3 / w)`` per ordering).
+    """
+    if ordering is None:
+        ordering = graph.vertices()
+    ordering = list(ordering)
+    if set(ordering) != set(graph.vertices()) or len(ordering) != graph.num_vertices:
+        raise ValueError("ordering must be a permutation of the graph's vertices")
+    heights = [0]
+    for i in range(1, len(ordering) + 1):
+        heights.append(cut_rank(graph, ordering[:i], backend=backend))
+    return heights
+
+
+def _median_seconds(func: Callable[[], object], repeats: int) -> float:
+    times = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        func()
+        times.append(time.perf_counter() - start)
+    return sorted(times)[len(times) // 2]
+
+
+def _git_revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except OSError:  # pragma: no cover - git missing entirely
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def run_emitter_bench(
+    sizes: Sequence[int] = DEFAULT_BENCH_SIZES,
+    repeats: int = 3,
+    seed: int = 2025,
+    backend: str | None = None,
+) -> dict:
+    """Measure naive-vs-incremental height functions across ``sizes``.
+
+    Parameters
+    ----------
+    sizes : Sequence[int], optional
+        Graph sizes (vertices) to sweep.
+    repeats : int, optional
+        Timing repetitions per point; the median is reported.
+    seed : int, optional
+        Graph-sampling seed.
+    backend : str | None, optional
+        GF(2) backend for both evaluations (``None`` = process default).
+
+    Returns
+    -------
+    dict
+        JSON-serialisable record: metadata (backend, git revision, python,
+        timestamp) plus one entry per size with median seconds for the naive
+        and incremental paths, the speedup, and the natural/greedy ordering
+        peaks (the emitter counts the new ordering axis improves).
+    """
+    resolved = resolve_backend(backend)
+    results = []
+    with use_backend(resolved):
+        for size in sizes:
+            graph = bench_graph(int(size), seed=seed)
+            ordering = graph.vertices()
+            naive = naive_height_function(graph, ordering)
+            incremental = CutRankEngine(graph, checkpoint=False).heights(ordering)
+            if naive != incremental:  # pragma: no cover - correctness guard
+                raise AssertionError(
+                    f"incremental heights diverge from the naive oracle at "
+                    f"size {size}"
+                )
+            naive_median = _median_seconds(
+                lambda g=graph, o=ordering: naive_height_function(g, o), repeats
+            )
+            incremental_median = _median_seconds(
+                lambda g=graph, o=ordering: CutRankEngine(
+                    g, checkpoint=False
+                ).heights(o),
+                repeats,
+            )
+            greedy = optimize_emission_ordering(graph, strategy="greedy")
+            results.append(
+                {
+                    "size": int(size),
+                    "num_edges": graph.num_edges,
+                    "naive_median_seconds": naive_median,
+                    "incremental_median_seconds": incremental_median,
+                    "speedup": (
+                        naive_median / incremental_median
+                        if incremental_median > 0
+                        else float("inf")
+                    ),
+                    "natural_peak": max(naive),
+                    "greedy_peak": greedy.peak_height,
+                }
+            )
+    return {
+        "benchmark": "emitters",
+        "backend": resolved,
+        "default_backend": get_default_backend(),
+        "git_rev": _git_revision(),
+        "python": platform.python_version(),
+        "seed": int(seed),
+        "repeats": int(repeats),
+        "created_at_unix": time.time(),
+        "sizes": [int(s) for s in sizes],
+        "results": results,
+    }
+
+
+def write_bench_file(
+    path: str | Path,
+    sizes: Sequence[int] = DEFAULT_BENCH_SIZES,
+    repeats: int = 3,
+    seed: int = 2025,
+    backend: str | None = None,
+) -> dict:
+    """Run :func:`run_emitter_bench` and dump the record to ``path``."""
+    record = run_emitter_bench(
+        sizes=sizes, repeats=repeats, seed=seed, backend=backend
+    )
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record

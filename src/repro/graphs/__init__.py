@@ -14,9 +14,13 @@ Modules
   rewrites, LC sequences and the single-qubit Clifford corrections they imply.
 * :mod:`repro.graphs.entanglement` — cut rank / height function and the
   minimal-emitter bound of Li, Economou & Barnes (2022).
+* :mod:`repro.graphs.incremental` — the incremental cut-rank engine: one
+  online GF(2) echelon sweep per ordering, with prefix checkpoints for
+  ordering searches.
 """
 
-from repro.graphs.graph_state import GraphState
+from repro.graphs.graph_state import GraphState, PackedAdjacency
+from repro.graphs.incremental import CutRankEngine, incremental_height_function
 from repro.graphs.generators import (
     complete_graph,
     erdos_renyi_graph,
@@ -50,6 +54,9 @@ from repro.graphs.entanglement import (
 
 __all__ = [
     "GraphState",
+    "PackedAdjacency",
+    "CutRankEngine",
+    "incremental_height_function",
     "complete_graph",
     "erdos_renyi_graph",
     "ghz_graph",

@@ -13,6 +13,7 @@ normalises them to ``0..n-1`` integers via :meth:`GraphState.relabeled`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator
 
 import networkx as nx
@@ -20,9 +21,32 @@ import networkx as nx
 from repro.stabilizer.tableau import StabilizerState
 from repro.utils.misc import normalize_edge
 
-__all__ = ["GraphState"]
+__all__ = ["GraphState", "PackedAdjacency"]
 
 Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class PackedAdjacency:
+    """Word-packed adjacency snapshot of a :class:`GraphState`.
+
+    Each adjacency row is one arbitrary-precision Python integer whose bit
+    ``index[w]`` is set iff the row's vertex is adjacent to ``w``.  Rows in
+    this form XOR/AND as whole machine-word runs (CPython big-int ops), which
+    is what the cut-rank kernels of :mod:`repro.graphs.entanglement` and
+    :mod:`repro.graphs.incremental` eliminate on.
+
+    The snapshot is immutable; :meth:`GraphState.packed_adjacency` caches one
+    per graph and invalidates it on any mutation.
+    """
+
+    index: dict[Vertex, int]
+    rows: tuple[int, ...]
+    full_mask: int
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.rows)
 
 
 class GraphState:
@@ -34,6 +58,7 @@ class GraphState:
         edges: Iterable[tuple[Vertex, Vertex]] | None = None,
     ):
         self._graph = nx.Graph()
+        self._packed_adjacency: PackedAdjacency | None = None
         if vertices is not None:
             self._graph.add_nodes_from(vertices)
         if edges is not None:
@@ -71,7 +96,11 @@ class GraphState:
 
     @property
     def graph(self) -> nx.Graph:
-        """The underlying ``networkx`` graph (mutating it bypasses validation)."""
+        """The underlying ``networkx`` graph.
+
+        Mutating it directly bypasses validation *and* the packed-adjacency
+        cache invalidation; prefer the :class:`GraphState` mutators.
+        """
         return self._graph
 
     @property
@@ -139,32 +168,69 @@ class GraphState:
         )
 
     # ------------------------------------------------------------------ #
+    # Packed adjacency cache
+    # ------------------------------------------------------------------ #
+
+    def _invalidate_packed_adjacency(self) -> None:
+        self._packed_adjacency = None
+
+    def packed_adjacency(self) -> PackedAdjacency:
+        """Cached :class:`PackedAdjacency` of the current graph.
+
+        Built once in ``O(V + E)`` and reused by every cut-rank query until
+        the graph mutates (any :class:`GraphState` mutator invalidates it).
+        Repeated :func:`repro.graphs.entanglement.cut_rank` calls therefore
+        stop paying the per-call quadratic matrix-rebuild cost.
+        """
+        cached = self._packed_adjacency
+        if cached is not None:
+            return cached
+        index = {v: i for i, v in enumerate(self._graph.nodes)}
+        rows = [0] * len(index)
+        for u, v in self._graph.edges:
+            i, j = index[u], index[v]
+            rows[i] |= 1 << j
+            rows[j] |= 1 << i
+        packed = PackedAdjacency(
+            index=index,
+            rows=tuple(rows),
+            full_mask=(1 << len(index)) - 1,
+        )
+        self._packed_adjacency = packed
+        return packed
+
+    # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
 
     def add_vertex(self, v: Vertex) -> None:
+        self._invalidate_packed_adjacency()
         self._graph.add_node(v)
 
     def remove_vertex(self, v: Vertex) -> None:
         """Remove ``v`` and all incident edges."""
         if not self._graph.has_node(v):
             raise KeyError(f"vertex {v!r} not in graph")
+        self._invalidate_packed_adjacency()
         self._graph.remove_node(v)
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         if u == v:
             raise ValueError(f"graph states cannot contain self-loops ({u!r})")
+        self._invalidate_packed_adjacency()
         self._graph.add_edge(u, v)
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         if not self._graph.has_edge(u, v):
             raise KeyError(f"edge ({u!r}, {v!r}) not in graph")
+        self._invalidate_packed_adjacency()
         self._graph.remove_edge(u, v)
 
     def toggle_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the edge when absent, remove it when present (CZ semantics)."""
         if u == v:
             raise ValueError(f"graph states cannot contain self-loops ({u!r})")
+        self._invalidate_packed_adjacency()
         if self._graph.has_edge(u, v):
             self._graph.remove_edge(u, v)
         else:

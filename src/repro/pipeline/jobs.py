@@ -43,6 +43,7 @@ from repro.graphs.generators import (
     watts_strogatz_graph,
     waxman_graph,
 )
+from repro.core.ordering import ORDERING_STRATEGIES
 from repro.graphs.graph_state import GraphState
 from repro.hardware.models import get_hardware_model
 from repro.utils.backend import BACKENDS
@@ -74,8 +75,9 @@ GRAPH_FAMILIES = (
 JOB_KINDS = ("comparison", "compile", "duration", "lc_stem_edges")
 
 #: Bump when a change invalidates previously cached results (new metrics,
-#: changed semantics of an existing job kind, …).
-JOB_SCHEMA_VERSION = 1
+#: changed semantics of an existing job kind, …).  v2: first-class
+#: ``ordering`` field (emission-ordering strategy) on every job.
+JOB_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -177,6 +179,10 @@ class BatchJob:
     backend : str | None, optional
         GF(2)/tableau backend pinned for this job (``None`` keeps the worker
         process default).
+    ordering : str | None, optional
+        Emission-ordering strategy (one of
+        :data:`repro.core.ordering.ORDERING_STRATEGIES`); ``None`` keeps the
+        compiler-config default (``"natural"``).
     verify : bool, optional
         Re-simulate compiled circuits on the stabilizer tableau.
     config_overrides : tuple[tuple[str, object], ...], optional
@@ -190,6 +196,7 @@ class BatchJob:
     emitter_limit_factor: float = 1.5
     hardware: str = "quantum_dot"
     backend: str | None = None
+    ordering: str | None = None
     verify: bool = False
     config_overrides: tuple[tuple[str, object], ...] = field(default_factory=tuple)
 
@@ -201,6 +208,11 @@ class BatchJob:
         if self.backend is not None and self.backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {BACKENDS} or None, got {self.backend!r}"
+            )
+        if self.ordering is not None and self.ordering not in ORDERING_STRATEGIES:
+            raise ValueError(
+                f"ordering must be one of {ORDERING_STRATEGIES} or None, "
+                f"got {self.ordering!r}"
             )
         get_hardware_model(self.hardware)  # validate the preset name early
         object.__setattr__(
@@ -262,6 +274,7 @@ class BatchJob:
             "emitter_limit_factor",
             "hardware",
             "backend",
+            "ordering",
             "verify",
             "config_overrides",
         }
@@ -295,10 +308,13 @@ class BatchJob:
     @property
     def label(self) -> str:
         """Short human-readable identifier used in reports and tables."""
-        return (
+        base = (
             f"{self.kind}:{self.graph.family}-{self.graph.size}"
             f"@{self.emitter_limit_factor}x#{self.graph.seed}"
         )
+        if self.ordering is not None:
+            base += f"+{self.ordering}"
+        return base
 
 
 # --------------------------------------------------------------------------- #
@@ -317,6 +333,8 @@ def _job_config(job: BatchJob):
     )
     overrides = dict(job.config_overrides)
     overrides.setdefault("gf2_backend", job.backend)
+    if job.ordering is not None:
+        overrides.setdefault("ordering_strategy", job.ordering)
     return config.with_overrides(**overrides)
 
 

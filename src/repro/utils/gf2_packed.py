@@ -34,6 +34,7 @@ __all__ = [
     "unpack_matrix",
     "popcount_words",
     "packed_gf2_rank",
+    "rank_of_row_ints",
     "packed_gf2_rref",
     "packed_gf2_nullspace",
     "packed_gf2_solve",
@@ -171,19 +172,14 @@ def _int_rref(rows: list[int]) -> dict[int, int]:
 # --------------------------------------------------------------------------- #
 
 
-def packed_gf2_rank(matrix: np.ndarray) -> int:
-    """Rank of ``matrix`` over GF(2) via packed integer elimination.
+def rank_of_row_ints(rows) -> int:
+    """GF(2) rank of rows given as Python integers (bit ``j`` = column ``j``).
 
-    Unlike the echelon-form kernels, rank does not depend on the pivot
-    order, so the elimination pivots on the *highest* set bit: that needs a
-    single ``int.bit_length`` per reduction step instead of the two extra
-    big-integer temporaries of a lowest-set-bit scan, and is what makes this
-    the fastest kernel in the module (the cut-rank hot path).
+    The elimination core of :func:`packed_gf2_rank`, exposed for callers that
+    already hold integer-packed rows — the cached adjacency of
+    :class:`repro.graphs.graph_state.GraphState` and the incremental
+    cut-rank engine — so they can rank without round-tripping through numpy.
     """
-    bits = _as_bits(matrix)
-    if bits.size == 0:
-        return 0
-    rows = _rows_to_ints(_pack_bits(bits))
     pivots: dict[int, int] = {}
     rank = 0
     for row in rows:
@@ -196,6 +192,21 @@ def packed_gf2_rank(matrix: np.ndarray) -> int:
                 break
             row ^= pivot
     return rank
+
+
+def packed_gf2_rank(matrix: np.ndarray) -> int:
+    """Rank of ``matrix`` over GF(2) via packed integer elimination.
+
+    Unlike the echelon-form kernels, rank does not depend on the pivot
+    order, so the elimination pivots on the *highest* set bit: that needs a
+    single ``int.bit_length`` per reduction step instead of the two extra
+    big-integer temporaries of a lowest-set-bit scan, and is what makes this
+    the fastest kernel in the module (the cut-rank hot path).
+    """
+    bits = _as_bits(matrix)
+    if bits.size == 0:
+        return 0
+    return rank_of_row_ints(_rows_to_ints(_pack_bits(bits)))
 
 
 def packed_gf2_rref(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]:
