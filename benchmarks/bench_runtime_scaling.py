@@ -20,6 +20,9 @@ Environment knobs (used by the CI smoke job to keep runtimes tiny):
   qubits up, below that the benchmark just exercises the code paths);
 * ``REPRO_BENCH_HEIGHT_QUBITS`` — graph size for the incremental
   height-function case (default ``256``; the >=5x incremental-vs-naive
+  assertion only applies from 256 qubits up);
+* ``REPRO_BENCH_COMPILE_QUBITS`` — graph size for the end-to-end
+  dense-vs-packed ``compile_graph`` case (default ``256``; the floor
   assertion only applies from 256 qubits up).
 """
 
@@ -49,6 +52,7 @@ def _env_sizes(name: str, default: tuple[int, ...]) -> tuple[int, ...]:
 SIZES = _env_sizes("REPRO_BENCH_SIZES", (10, 20, 40, 60))
 KERNEL_QUBITS = int(os.environ.get("REPRO_BENCH_KERNEL_QUBITS", "512"))
 HEIGHT_QUBITS = int(os.environ.get("REPRO_BENCH_HEIGHT_QUBITS", "256"))
+COMPILE_QUBITS = int(os.environ.get("REPRO_BENCH_COMPILE_QUBITS", "256"))
 
 #: Assert the packed backend is at least this many times faster (only at
 #: KERNEL_QUBITS >= 256; generous vs the typical 3-6x to absorb CI noise).
@@ -58,6 +62,11 @@ MIN_KERNEL_SPEEDUP = 2.5
 #: one-rank-per-prefix evaluation by at least this factor (only at
 #: HEIGHT_QUBITS >= 256; typical measurements are well above 10x).
 MIN_HEIGHT_SPEEDUP = 5.0
+
+#: Assert the packed-backend end-to-end compile beats the dense oracle by at
+#: least this factor (only at COMPILE_QUBITS >= 256; the typical measurement
+#: is ~3x — the floor is generous to absorb CI noise).
+MIN_COMPILE_SPEEDUP = 2.0
 
 
 def _run():
@@ -206,3 +215,46 @@ def test_height_function_incremental_speedup(benchmark):
     benchmark.extra_info["height_function_speedup"] = speedup
     if n >= 256:
         assert speedup >= MIN_HEIGHT_SPEEDUP
+
+
+# --------------------------------------------------------------------------- #
+# Bitset reduction fast path: end-to-end compile
+# --------------------------------------------------------------------------- #
+
+
+def test_reduction_fast_path_speedup(benchmark):
+    """Dense-oracle vs packed-bitset end-to-end ``compile_graph``.
+
+    The packed backend runs the reduction engine on integer adjacency rows,
+    scores partitioner LC candidates by exact packed deltas, and ranks
+    candidate plans straight from op sequences.  The circuits must be
+    bit-identical to the dense oracle's, and at ``n >= 256`` vertices the
+    packed compile must be at least ``MIN_COMPILE_SPEEDUP`` times faster.
+    """
+    from repro.core.compiler import compile_graph
+
+    n = COMPILE_QUBITS
+    graph = _random_graph(n)
+
+    def measure():
+        packed_result = compile_graph(graph, gf2_backend="packed")
+        dense_result = compile_graph(graph, gf2_backend="dense")
+        assert packed_result.circuit.gates == dense_result.circuit.gates
+        dense_s = _median_seconds(
+            lambda: compile_graph(graph, gf2_backend="dense"), repeats=3
+        )
+        packed_s = _median_seconds(
+            lambda: compile_graph(graph, gf2_backend="packed"), repeats=3
+        )
+        return dense_s, packed_s
+
+    dense_s, packed_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = dense_s / packed_s
+    print()
+    print(
+        f"compile_graph @ {n} vertices: dense {dense_s:.3f} s, "
+        f"packed {packed_s:.3f} s, speedup {speedup:.1f}x"
+    )
+    benchmark.extra_info["compile_speedup"] = speedup
+    if n >= 256:
+        assert speedup >= MIN_COMPILE_SPEEDUP

@@ -126,7 +126,7 @@ from repro.utils.backend import (
     use_backend,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

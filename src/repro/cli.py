@@ -13,7 +13,8 @@ Six subcommands cover the common workflows:
 * ``repro loadgen`` — drive a server closed-loop and report throughput,
   latency percentiles and the cache-hit rate;
 * ``repro bench`` — run the emitter perf-trajectory benchmark
-  (naive-vs-incremental height function) and write ``BENCH_emitters.json``.
+  (naive-vs-incremental height function, dense-vs-packed end-to-end compile)
+  and write ``BENCH_emitters.json``.
 
 Examples::
 
@@ -29,7 +30,7 @@ Examples::
     repro serve --port 8765 --cache-dir .repro-service-cache
     repro loadgen --url http://127.0.0.1:8765 --families lattice --sizes 10 14
     repro loadgen --self-serve --cache-dir .repro-service-cache --requests 40
-    repro bench --sizes 64 128 256 --output BENCH_emitters.json
+    repro bench --sizes 64 128 256 --compile-sizes 32 64 128 --output BENCH_emitters.json
 
 Every subcommand exits with its own non-zero code on failure so scripts can
 tell what broke: ``2`` usage (argparse), ``3`` compile, ``4`` figure, ``5``
@@ -346,7 +347,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser = subparsers.add_parser(
         "bench",
         help="run the emitter perf-trajectory benchmark (naive vs incremental "
-        "height function) and write BENCH_emitters.json",
+        "height function, dense vs packed end-to-end compile) and write "
+        "BENCH_emitters.json",
     )
     bench_parser.add_argument(
         "--sizes",
@@ -354,6 +356,14 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=None,
         help="graph sizes to sweep (default: 64 128 256 512)",
+    )
+    bench_parser.add_argument(
+        "--compile-sizes",
+        type=int,
+        nargs="*",
+        default=None,
+        help="graph sizes for the end-to-end compile section "
+        "(default: 32 64 128 256; pass with no values to skip the section)",
     )
     bench_parser.add_argument(
         "--repeats", type=int, default=3, help="timing repetitions per point"
@@ -554,16 +564,27 @@ def _run_loadgen(args: argparse.Namespace) -> int:
 
 
 def _run_bench(args: argparse.Namespace) -> int:
-    from repro.evaluation.perf import DEFAULT_BENCH_SIZES, write_bench_file
+    from repro.evaluation.perf import (
+        DEFAULT_BENCH_SIZES,
+        DEFAULT_COMPILE_SIZES,
+        write_bench_file,
+    )
 
     sizes = tuple(args.sizes) if args.sizes else DEFAULT_BENCH_SIZES
+    compile_sizes = (
+        tuple(args.compile_sizes)
+        if args.compile_sizes is not None
+        else DEFAULT_COMPILE_SIZES
+    )
     record = write_bench_file(
         args.output,
         sizes=sizes,
         repeats=args.repeats,
         seed=args.seed,
         backend=args.backend,
+        compile_sizes=compile_sizes,
     )
+    print("height function (naive per-prefix vs incremental engine):")
     print(
         render_table(
             ["size", "naive_s", "incremental_s", "speedup", "natural_peak", "greedy_peak"],
@@ -580,6 +601,23 @@ def _run_bench(args: argparse.Namespace) -> int:
             ],
         )
     )
+    if record["compile_results"]:
+        print("end-to-end compile_graph (dense oracle vs packed fast path):")
+        print(
+            render_table(
+                ["size", "dense_s", "packed_s", "speedup", "ee_cnots"],
+                [
+                    [
+                        row["size"],
+                        f"{row['naive_median_seconds']:.4f}",
+                        f"{row['packed_median_seconds']:.4f}",
+                        f"{row['speedup']:.1f}x",
+                        row["num_emitter_emitter_cnots"],
+                    ]
+                    for row in record["compile_results"]
+                ],
+            )
+        )
     print(
         f"backend: {record['backend']}  git: {record['git_rev']}  "
         f"repeats: {record['repeats']}"

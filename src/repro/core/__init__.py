@@ -25,6 +25,8 @@ from repro.core.reduction import (
     ReductionState,
     forward_circuit_from_sequence,
 )
+from repro.core.packed_reduction import PackedReductionState, make_reduction_state
+from repro.core.plan_scoring import score_sequence
 from repro.core.strategies import GreedyReductionStrategy, greedy_reduce
 from repro.core.subgraph_compiler import SubgraphCompilationResult, SubgraphCompiler
 from repro.core.partition import GraphPartitioner, PartitionResult
@@ -39,10 +41,13 @@ from repro.core.ordering import (
 
 __all__ = [
     "InsufficientEmittersError",
+    "PackedReductionState",
     "ReductionOp",
     "ReductionSequence",
     "ReductionState",
     "forward_circuit_from_sequence",
+    "make_reduction_state",
+    "score_sequence",
     "GreedyReductionStrategy",
     "greedy_reduce",
     "SubgraphCompilationResult",

@@ -28,6 +28,7 @@ every quantity of the paper without recomputing anything.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Hashable
 
@@ -38,8 +39,10 @@ from repro.circuit.timing import Schedule, schedule_circuit
 from repro.circuit.validation import verify_circuit_generates
 from repro.core.config import CompilerConfig
 from repro.core.ordering import OrderingResult, optimize_emission_ordering
+from repro.core.packed_reduction import make_reduction_state
 from repro.core.partition import GraphPartitioner, PartitionResult
-from repro.core.reduction import ReductionSequence, ReductionState
+from repro.core.plan_scoring import score_sequence
+from repro.core.reduction import ReductionSequence
 from repro.core.scheduler import SchedulePlan, SubgraphScheduler
 from repro.core.strategies import GreedyReductionStrategy, reduce_photon
 from repro.core.subgraph_compiler import SubgraphCompilationResult, SubgraphCompiler
@@ -260,13 +263,13 @@ class EmitterCompiler:
 
         # Round-robin interleaving: one photon from each block in turn.  The
         # emitter affinity of each photon is kept from its own block.
-        queues = [list(order) for order, _ in ordered]
+        queues = [deque(order) for order, _ in ordered]
         affinities = [affinity for _, affinity in ordered]
         interleaved: list[tuple[list[Vertex], tuple[int, ...]]] = []
         while any(queues):
             for queue, affinity in zip(queues, affinities):
                 if queue:
-                    interleaved.append(([queue.pop(0)], affinity))
+                    interleaved.append(([queue.popleft()], affinity))
         candidates.append(interleaved)
 
         # Monolithic fall-backs over the whole (LC-transformed) graph.
@@ -284,26 +287,27 @@ class EmitterCompiler:
         candidate_plans: list[list[tuple[list[Vertex], tuple[int, ...]]]],
         emitter_limit: int,
     ) -> tuple[ReductionSequence, Circuit]:
-        """Run the global reduction for every candidate plan and keep the best."""
+        """Run the global reduction for every candidate plan and keep the best.
+
+        Candidates are ranked straight from their op sequences
+        (:func:`repro.core.plan_scoring.score_sequence` — bit-identical to
+        the historical circuit-backed metrics); only the winning plan is
+        materialised into a :class:`Circuit`.
+        """
         config = self.config
-        best: tuple[tuple[float, float, float], ReductionSequence, Circuit] | None = None
+        best: tuple[tuple[float, float, float], ReductionSequence] | None = None
         for plan in candidate_plans:
             sequence = self._global_reduction(working_graph, plan, emitter_limit)
-            circuit = sequence.to_circuit()
-            metrics = compute_metrics(
-                circuit,
+            key = score_sequence(
+                sequence,
                 durations=config.hardware.durations,
                 policy=config.scheduling_policy,
+                cnot_cutoff=best[0][0] if best is not None else None,
             )
-            key = (
-                float(metrics.num_emitter_emitter_cnots),
-                metrics.average_photon_loss_duration,
-                metrics.duration,
-            )
-            if best is None or key < best[0]:
-                best = (key, sequence, circuit)
+            if key is not None and (best is None or key < best[0]):
+                best = (key, sequence)
         assert best is not None
-        return best[1], best[2]
+        return best[1], best[1].to_circuit()
 
     def _global_reduction(
         self,
@@ -311,9 +315,13 @@ class EmitterCompiler:
         processing_plan: list[tuple[list[Vertex], tuple[int, ...]]],
         emitter_limit: int,
     ) -> ReductionSequence:
-        """Reduce the full graph following the per-block processing orders."""
+        """Reduce the full graph following the per-block processing orders.
+
+        Runs on the backend-selected working-graph representation (the packed
+        bitset fast path by default; the dict-based oracle on ``dense``).
+        """
         config = self.config
-        state = ReductionState(working_graph, emitter_budget=emitter_limit)
+        state = make_reduction_state(working_graph, emitter_budget=emitter_limit)
         for block_number, (order, preferred) in enumerate(processing_plan):
             strategy = GreedyReductionStrategy(
                 emitter_budget=emitter_limit,

@@ -28,7 +28,12 @@ from typing import Hashable
 
 from repro.core.config import CompilerConfig
 from repro.graphs.graph_state import GraphState
-from repro.graphs.local_complementation import LCOperation, local_complement
+from repro.graphs.local_complementation import (
+    LCOperation,
+    lc_toggle_deltas,
+    local_complement,
+)
+from repro.utils.backend import PACKED, resolve_backend
 from repro.solvers.mip import BinaryLinearProgram, MIPStatus, solve_binary_program
 from repro.solvers.partition_heuristics import (
     balanced_greedy_partition,
@@ -200,25 +205,49 @@ class GraphPartitioner:
 
         current_blocks = best_blocks
         remaining_budget = config.lc_budget
+        packed_scoring = resolve_backend(None) == PACKED
         while remaining_budget > 0:
             # Evaluate one LC move per vertex against the *current* partition
             # (cheap proxy).  A move is attractive when it reduces the cut, or
             # — failing that — the total edge count (fewer edges generally
-            # means fewer emitter-emitter CNOTs even inside the leaves).
+            # means fewer emitter-emitter CNOTs even inside the leaves).  On
+            # the packed backend every candidate is scored by the exact
+            # (cut, edge) deltas from the packed adjacency rows — no graph
+            # copy per vertex; the dense path keeps the copy-and-measure loop
+            # as the oracle.  Both pick the same vertex.
             candidate_vertex = None
             candidate_key: tuple[int, int] | None = None
             current_key = (cut_size(current, current_blocks), current.num_edges)
-            for vertex in current.vertices():
-                if current.degree(vertex) < 2:
-                    continue
-                trial = current.copy()
-                trial.local_complement(vertex)
-                trial_key = (cut_size(trial, current_blocks), trial.num_edges)
-                if trial_key < current_key and (
-                    candidate_key is None or trial_key < candidate_key
-                ):
-                    candidate_key = trial_key
-                    candidate_vertex = vertex
+            if packed_scoring:
+                block_of = {
+                    v: b for b, block in enumerate(current_blocks) for v in block
+                }
+                deltas = lc_toggle_deltas(current, block_of)
+                for vertex in current.vertices():
+                    delta = deltas.get(vertex)
+                    if delta is None:  # degree < 2: LC is a no-op
+                        continue
+                    trial_key = (
+                        current_key[0] + delta[1],
+                        current_key[1] + delta[0],
+                    )
+                    if trial_key < current_key and (
+                        candidate_key is None or trial_key < candidate_key
+                    ):
+                        candidate_key = trial_key
+                        candidate_vertex = vertex
+            else:
+                for vertex in current.vertices():
+                    if current.degree(vertex) < 2:
+                        continue
+                    trial = current.copy()
+                    trial.local_complement(vertex)
+                    trial_key = (cut_size(trial, current_blocks), trial.num_edges)
+                    if trial_key < current_key and (
+                        candidate_key is None or trial_key < candidate_key
+                    ):
+                        candidate_key = trial_key
+                        candidate_vertex = vertex
             if candidate_vertex is None:
                 break
             current, op = local_complement(current, candidate_vertex)

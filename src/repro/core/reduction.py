@@ -254,6 +254,78 @@ class ReductionState:
         return not self.remaining_photons() and not self.active_emitters
 
     # ------------------------------------------------------------------ #
+    # Rule queries (shared with the packed fast path)
+    #
+    # The greedy strategy (:mod:`repro.core.strategies`) drives photon
+    # removal exclusively through these queries, so any state implementation
+    # that answers them identically produces bit-identical op sequences.
+    # :class:`repro.core.packed_reduction.PackedReductionState` implements the
+    # same queries on word-packed adjacency rows.
+    # ------------------------------------------------------------------ #
+
+    def photon_neighbor_counts(self, photon: int) -> tuple[int, int]:
+        """``(#photon neighbours, #emitter neighbours)`` of a photon."""
+        photons, emitters = self.photon_neighbors(photon)
+        return len(photons), len(emitters)
+
+    def find_dangling_emitter(self, photon: int) -> int | None:
+        """Smallest emitter adjacent to ``photon`` whose only neighbour is it."""
+        _, emitters = self.photon_neighbors(photon)
+        candidates = [e for e in emitters if self.emitter_degree(e) == 1]
+        return min(candidates) if candidates else None
+
+    def find_leaf_host(self, photon: int) -> int | None:
+        """The emitter hosting ``photon`` when the photon has degree 1."""
+        if self.photon_degree(photon) != 1:
+            return None
+        _, emitters = self.photon_neighbors(photon)
+        return min(emitters) if emitters else None
+
+    def find_twin_emitter(self, photon: int) -> int | None:
+        """First active emitter (ascending id) that is a non-adjacent twin."""
+        pnode = self._pnode(photon)
+        photon_neighbourhood = self.graph.neighbors(pnode)
+        for emitter in sorted(self.active_emitters):
+            enode = self._enode(emitter)
+            if self.graph.has_edge(pnode, enode):
+                continue
+            if self.graph.neighbors(enode) == photon_neighbourhood:
+                return emitter
+        return None
+
+    def disconnect_absorb_candidate(self, photon: int) -> tuple[int, int] | None:
+        """Best ``(cost, emitter)`` for the disconnect-absorb move, or ``None``.
+
+        The move requires an emitter adjacent to ``photon`` whose *other*
+        neighbours are all emitters (emitter-photon edges cannot be cut); the
+        immediate cost is the number of those neighbours.  Scanning ascending
+        emitter ids with a strict improvement keeps the choice deterministic.
+        """
+        _, emitters = self.photon_neighbors(photon)
+        best: tuple[int, int] | None = None
+        for e in sorted(emitters):
+            other_photons, other_emitters = self.emitter_neighbors(e)
+            other_photons = other_photons - {photon}
+            if other_photons:
+                continue
+            cost = len(other_emitters)
+            if best is None or cost < best[0]:
+                best = (cost, e)
+        return best
+
+    def liberation_candidate(self) -> tuple[int, int] | None:
+        """Best ``(cost, emitter)`` freeable by disconnecting it, or ``None``."""
+        best: tuple[int, int] | None = None
+        for emitter in sorted(self.active_emitters):
+            photons, emitters = self.emitter_neighbors(emitter)
+            if photons:
+                continue
+            cost = len(emitters)
+            if best is None or cost < best[0]:
+                best = (cost, emitter)
+        return best
+
+    # ------------------------------------------------------------------ #
     # Emitter pool management
     # ------------------------------------------------------------------ #
 
@@ -458,19 +530,21 @@ class ReductionState:
     # ------------------------------------------------------------------ #
 
     def disconnect_all_emitter_edges(self, tag: str = "") -> int:
-        """Remove every remaining emitter-emitter edge; return how many."""
-        count = 0
-        while True:
-            edge = None
-            for u, v in self.graph.edges():
-                if u[0] == "e" and v[0] == "e":
-                    edge = (u[1], v[1])
-                    break
-            if edge is None:
-                break
-            self.apply_disconnect(edge[0], edge[1], tag=tag)
-            count += 1
-        return count
+        """Remove every remaining emitter-emitter edge; return how many.
+
+        The edges are collected once and applied in one deterministic
+        (sorted) pass — disconnects never create emitter-emitter edges, so a
+        single scan suffices (the historical implementation rescanned every
+        edge after each disconnect, which was quadratic in the edge count).
+        """
+        pairs = sorted(
+            (u[1], v[1]) if u[1] <= v[1] else (v[1], u[1])
+            for u, v in self.graph.edges()
+            if u[0] == "e" and v[0] == "e"
+        )
+        for a, b in pairs:
+            self.apply_disconnect(a, b, tag=tag)
+        return len(pairs)
 
     def finish(self, tag: str = "") -> ReductionSequence:
         """Disconnect leftover emitter edges, free emitters and return the sequence.

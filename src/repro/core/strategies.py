@@ -35,8 +35,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Hashable, Sequence
+from typing import Hashable, Sequence, Union
 
+from repro.core.packed_reduction import PackedReductionState, make_reduction_state
 from repro.core.reduction import (
     InsufficientEmittersError,
     ReductionSequence,
@@ -47,6 +48,11 @@ from repro.graphs.graph_state import GraphState
 __all__ = ["GreedyReductionStrategy", "greedy_reduce", "reduce_photon"]
 
 Vertex = Hashable
+
+#: Either working-graph representation; both answer the same rule-query
+#: protocol with identical tie-breaking, so the strategy below is
+#: representation-agnostic and produces bit-identical op sequences.
+AnyReductionState = Union[ReductionState, PackedReductionState]
 
 
 @dataclass(frozen=True)
@@ -89,70 +95,7 @@ class GreedyReductionStrategy:
 # --------------------------------------------------------------------------- #
 
 
-def _find_dangling_emitter(state: ReductionState, photon: int) -> int | None:
-    """An emitter adjacent to ``photon`` whose only neighbour is the photon."""
-    _, emitters = state.photon_neighbors(photon)
-    candidates = [e for e in emitters if state.emitter_degree(e) == 1]
-    return min(candidates) if candidates else None
-
-
-def _find_leaf_host(state: ReductionState, photon: int) -> int | None:
-    """An emitter hosting ``photon`` when the photon has degree 1."""
-    if state.photon_degree(photon) != 1:
-        return None
-    _, emitters = state.photon_neighbors(photon)
-    return min(emitters) if emitters else None
-
-
-def _find_twin_emitter(state: ReductionState, photon: int) -> int | None:
-    """An active emitter with exactly the photon's neighbourhood (non-adjacent)."""
-    pnode = ("p", photon)
-    photon_neighbourhood = state.graph.neighbors(pnode)
-    for emitter in sorted(state.active_emitters):
-        enode = ("e", emitter)
-        if state.graph.has_edge(pnode, enode):
-            continue
-        if state.graph.neighbors(enode) == photon_neighbourhood:
-            return emitter
-    return None
-
-
-def _disconnect_absorb_candidate(
-    state: ReductionState, photon: int
-) -> tuple[int, int] | None:
-    """Best (cost, emitter) for the disconnect-absorb move, or ``None``.
-
-    The move requires an emitter adjacent to ``photon`` whose *other*
-    neighbours are all emitters (emitter-photon edges cannot be cut); the
-    immediate cost is the number of those neighbours.
-    """
-    _, emitters = state.photon_neighbors(photon)
-    best: tuple[int, int] | None = None
-    for e in sorted(emitters):
-        other_photons, other_emitters = state.emitter_neighbors(e)
-        other_photons = other_photons - {photon}
-        if other_photons:
-            continue
-        cost = len(other_emitters)
-        if best is None or cost < best[0]:
-            best = (cost, e)
-    return best
-
-
-def _liberation_candidate(state: ReductionState) -> tuple[int, int] | None:
-    """Best (cost, emitter) that can be freed by disconnecting it, or ``None``."""
-    best: tuple[int, int] | None = None
-    for emitter in sorted(state.active_emitters):
-        photons, emitters = state.emitter_neighbors(emitter)
-        if photons:
-            continue
-        cost = len(emitters)
-        if best is None or cost < best[0]:
-            best = (cost, emitter)
-    return best
-
-
-def _liberate(state: ReductionState, emitter: int, tag: str) -> None:
+def _liberate(state: AnyReductionState, emitter: int, tag: str) -> None:
     """Disconnect ``emitter`` from all of its (emitter) neighbours and free it."""
     _, neighbours = state.emitter_neighbors(emitter)
     for other in sorted(neighbours):
@@ -166,7 +109,7 @@ def _liberate(state: ReductionState, emitter: int, tag: str) -> None:
 
 
 def reduce_photon(
-    state: ReductionState,
+    state: AnyReductionState,
     photon: int,
     strategy: GreedyReductionStrategy,
     tag: str = "",
@@ -175,34 +118,35 @@ def reduce_photon(
 
     This is exposed separately from :func:`greedy_reduce` so that the
     subgraph search (:mod:`repro.core.subgraph_compiler`) can drive photon
-    removal step by step while exploring different processing orders.
+    removal step by step while exploring different processing orders.  All
+    graph inspection goes through the shared rule-query protocol, so the
+    same code drives both the dict-based oracle and the packed fast path.
     """
     if state.photon_degree(photon) == 0:
         state.apply_emit_isolated(photon, tag=tag)
         return
 
-    dangling = _find_dangling_emitter(state, photon)
+    dangling = state.find_dangling_emitter(photon)
     if dangling is not None:
         state.apply_absorb_dangling(dangling, photon, tag=tag)
         return
 
-    leaf_host = _find_leaf_host(state, photon)
+    leaf_host = state.find_leaf_host(photon)
     if leaf_host is not None:
         state.apply_absorb_leaf(leaf_host, photon, tag=tag)
         return
 
     if strategy.enable_twin_rule:
-        twin = _find_twin_emitter(state, photon)
+        twin = state.find_twin_emitter(photon)
         if twin is not None:
             state.apply_absorb_twin(twin, photon, tag=tag)
             return
 
     # Costed choice between disconnect-absorb and swap.
-    _, emitter_neighbours = state.photon_neighbors(photon)
-    deferred_edges = len(emitter_neighbours)
+    deferred_edges = state.photon_neighbor_counts(photon)[1]
 
     absorb_option = (
-        _disconnect_absorb_candidate(state, photon)
+        state.disconnect_absorb_candidate(photon)
         if strategy.allow_disconnect_absorb
         else None
     )
@@ -220,7 +164,7 @@ def reduce_photon(
         if can_allocate and not strategy.prefer_disconnect_over_allocate:
             swap_setup_cost = 0.0
         else:
-            liberation = _liberation_candidate(state)
+            liberation = state.liberation_candidate()
             if liberation is not None:
                 swap_setup_cost = liberation[0]
             elif can_allocate:
@@ -265,6 +209,7 @@ def greedy_reduce(
     processing_order: Sequence[Vertex] | None = None,
     strategy: GreedyReductionStrategy | None = None,
     tag: str = "",
+    backend: str | None = None,
 ) -> ReductionSequence:
     """Reduce ``target_graph`` completely and return the reduction sequence.
 
@@ -277,6 +222,9 @@ def greedy_reduce(
             baseline behaviour.
         strategy: greedy policy knobs (:class:`GreedyReductionStrategy`).
         tag: tag attached to every generated operation/gate.
+        backend: working-graph representation (``None`` = process default):
+            ``"packed"`` runs on the bitset fast path, ``"dense"`` on the
+            networkx oracle.  Both yield bit-identical sequences.
 
     Returns:
         A complete :class:`repro.core.reduction.ReductionSequence` that can be
@@ -284,10 +232,11 @@ def greedy_reduce(
     """
     if strategy is None:
         strategy = GreedyReductionStrategy()
-    state = ReductionState(
+    state = make_reduction_state(
         target_graph,
         emitter_budget=strategy.emitter_budget,
         strict_budget=strategy.strict_budget,
+        backend=backend,
     )
     if processing_order is None:
         processing_order = list(reversed(target_graph.vertices()))

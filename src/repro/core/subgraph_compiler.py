@@ -28,6 +28,7 @@ from repro.circuit.circuit import Circuit
 from repro.circuit.metrics import CircuitMetrics, compute_metrics
 from repro.core.config import CompilerConfig
 from repro.core.ordering import optimize_emission_ordering
+from repro.core.plan_scoring import score_sequence
 from repro.core.reduction import ReductionSequence
 from repro.core.strategies import GreedyReductionStrategy, greedy_reduce
 from repro.graphs.entanglement import minimum_emitters
@@ -209,36 +210,39 @@ class SubgraphCompiler:
                 orders.remove(candidate)
             orders.insert(0, candidate)
 
-        best: tuple[tuple[float, float, float], SubgraphCompilationResult] | None = None
+        # Rank candidate orders by the op-sequence score (bit-identical to
+        # the circuit-backed metrics, see repro.core.plan_scoring); only the
+        # winning order pays for the circuit build and the full metrics.
+        best: tuple[tuple[float, float, float], list[Vertex], ReductionSequence] | None
+        best = None
         for order in orders:
             sequence = greedy_reduce(subgraph, processing_order=order, strategy=strategy)
-            circuit = sequence.to_circuit()
-            metrics = compute_metrics(
-                circuit,
+            key = score_sequence(
+                sequence,
                 durations=config.hardware.durations,
                 policy="alap",
+                cnot_cutoff=best[0][0] if best is not None else None,
             )
-            key = (
-                float(metrics.num_emitter_emitter_cnots),
-                metrics.average_photon_loss_duration,
-                metrics.duration,
-            )
-            if best is None or key < best[0]:
-                best = (
-                    key,
-                    SubgraphCompilationResult(
-                        subgraph=subgraph,
-                        processing_order=list(order),
-                        sequence=sequence,
-                        circuit=circuit,
-                        metrics=metrics,
-                        emitter_budget=emitter_budget,
-                        num_emitters_used=sequence.num_emitters,
-                        orders_evaluated=len(orders),
-                    ),
-                )
+            if key is not None and (best is None or key < best[0]):
+                best = (key, list(order), sequence)
         assert best is not None
-        return best[1]
+        _, best_order, best_sequence = best
+        circuit = best_sequence.to_circuit()
+        metrics = compute_metrics(
+            circuit,
+            durations=config.hardware.durations,
+            policy="alap",
+        )
+        return SubgraphCompilationResult(
+            subgraph=subgraph,
+            processing_order=best_order,
+            sequence=best_sequence,
+            circuit=circuit,
+            metrics=metrics,
+            emitter_budget=emitter_budget,
+            num_emitters_used=best_sequence.num_emitters,
+            orders_evaluated=len(orders),
+        )
 
     def compile_flexible(
         self, subgraph: GraphState

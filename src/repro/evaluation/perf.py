@@ -1,13 +1,17 @@
 """Perf-trajectory benchmark behind ``repro bench``.
 
-The compiler's hot path is the height-function evaluation (one cut rank per
-emission prefix); PR-over-PR regressions there are invisible to the unit
-tests.  :func:`run_emitter_bench` pins the trajectory: it measures the naive
-from-scratch evaluation (one rank solve per prefix, the historical
-implementation) against the incremental
-:class:`repro.graphs.incremental.CutRankEngine` sweep on random graphs of
-increasing size, checks bit-identical heights, and records medians, the
-speedup, the active GF(2) backend and the git revision.
+Two sections pin the compiler's perf trajectory:
+
+* **height function** — the naive from-scratch evaluation (one rank solve
+  per prefix, the historical implementation) against the incremental
+  :class:`repro.graphs.incremental.CutRankEngine` sweep, checking
+  bit-identical heights;
+* **end-to-end compile** — :func:`repro.core.compiler.compile_graph` on the
+  ``dense`` backend (networkx reduction state, copy-based LC scoring — the
+  historical path, kept as the oracle) against the ``packed`` backend
+  (bitset reduction engine, LC delta scoring, op-sequence plan scoring),
+  checking bit-identical circuits.  This is the number the batch pipeline
+  and the compile service actually feel.
 
 ``repro bench`` writes the result to ``BENCH_emitters.json`` so future PRs
 (and the CI bench-smoke artifact) can diff the numbers instead of guessing.
@@ -32,8 +36,10 @@ from repro.utils.backend import get_default_backend, resolve_backend, use_backen
 
 __all__ = [
     "DEFAULT_BENCH_SIZES",
+    "DEFAULT_COMPILE_SIZES",
     "bench_graph",
     "naive_height_function",
+    "run_compile_bench",
     "run_emitter_bench",
     "write_bench_file",
 ]
@@ -43,6 +49,10 @@ Vertex = Hashable
 #: Default sweep for ``repro bench``: the assertion threshold sits at 256;
 #: 512 is the paper-scale point the trajectory targets (>= 10x incremental).
 DEFAULT_BENCH_SIZES = (64, 128, 256, 512)
+
+#: Default sweep for the end-to-end compile section (the dense comparator
+#: compiles each size once per repeat, so the sweep stays modest).
+DEFAULT_COMPILE_SIZES = (32, 64, 128, 256)
 
 
 def bench_graph(num_vertices: int, seed: int = 2025) -> GraphState:
@@ -108,11 +118,75 @@ def _git_revision() -> str:
     return out.stdout.strip() or "unknown"
 
 
+def run_compile_bench(
+    sizes: Sequence[int] = DEFAULT_COMPILE_SIZES,
+    repeats: int = 2,
+    seed: int = 2025,
+) -> list[dict]:
+    """Measure end-to-end ``compile_graph`` on the dense vs packed backends.
+
+    For every size the two backends are first checked to produce
+    *bit-identical* circuits (the packed reduction engine is exact, not a
+    heuristic), then timed; medians and the speedup are reported together
+    with the compiled circuit's headline metrics.
+
+    Parameters
+    ----------
+    sizes : Sequence[int], optional
+        Graph sizes (vertices) to sweep.
+    repeats : int, optional
+        Timing repetitions per backend and size; the median is reported.
+    seed : int, optional
+        Graph-sampling seed.
+
+    Returns
+    -------
+    list[dict]
+        One JSON-serialisable entry per size.
+    """
+    from repro.core.compiler import compile_graph
+
+    results = []
+    for size in sizes:
+        graph = bench_graph(int(size), seed=seed)
+        packed_result = compile_graph(graph, gf2_backend="packed")
+        dense_result = compile_graph(graph, gf2_backend="dense")
+        if packed_result.circuit.gates != dense_result.circuit.gates:
+            raise AssertionError(  # pragma: no cover - correctness guard
+                f"packed compile diverges from the dense oracle at size {size}"
+            )
+        packed_median = _median_seconds(
+            lambda g=graph: compile_graph(g, gf2_backend="packed"), repeats
+        )
+        dense_median = _median_seconds(
+            lambda g=graph: compile_graph(g, gf2_backend="dense"), repeats
+        )
+        results.append(
+            {
+                "size": int(size),
+                "num_edges": graph.num_edges,
+                "naive_median_seconds": dense_median,
+                "packed_median_seconds": packed_median,
+                "speedup": (
+                    dense_median / packed_median
+                    if packed_median > 0
+                    else float("inf")
+                ),
+                "num_emitter_emitter_cnots": (
+                    packed_result.metrics.num_emitter_emitter_cnots
+                ),
+                "num_emitters": packed_result.metrics.num_emitters,
+            }
+        )
+    return results
+
+
 def run_emitter_bench(
     sizes: Sequence[int] = DEFAULT_BENCH_SIZES,
     repeats: int = 3,
     seed: int = 2025,
     backend: str | None = None,
+    compile_sizes: Sequence[int] = DEFAULT_COMPILE_SIZES,
 ) -> dict:
     """Measure naive-vs-incremental height functions across ``sizes``.
 
@@ -126,6 +200,9 @@ def run_emitter_bench(
         Graph-sampling seed.
     backend : str | None, optional
         GF(2) backend for both evaluations (``None`` = process default).
+    compile_sizes : Sequence[int], optional
+        Graph sizes for the end-to-end compile section
+        (:func:`run_compile_bench`); empty disables the section.
 
     Returns
     -------
@@ -133,7 +210,9 @@ def run_emitter_bench(
         JSON-serialisable record: metadata (backend, git revision, python,
         timestamp) plus one entry per size with median seconds for the naive
         and incremental paths, the speedup, and the natural/greedy ordering
-        peaks (the emitter counts the new ordering axis improves).
+        peaks (the emitter counts the new ordering axis improves), and a
+        ``compile_results`` section with dense-vs-packed end-to-end
+        ``compile_graph`` medians per size.
     """
     resolved = resolve_backend(backend)
     results = []
@@ -173,6 +252,13 @@ def run_emitter_bench(
                     "greedy_peak": greedy.peak_height,
                 }
             )
+    # The dense comparator makes end-to-end compiles expensive; cap the
+    # compile-section repeats and record the capped value separately so two
+    # records stay comparable.
+    compile_repeats = min(int(repeats), 2)
+    compile_results = run_compile_bench(
+        sizes=compile_sizes, repeats=compile_repeats, seed=seed
+    )
     return {
         "benchmark": "emitters",
         "backend": resolved,
@@ -184,6 +270,9 @@ def run_emitter_bench(
         "created_at_unix": time.time(),
         "sizes": [int(s) for s in sizes],
         "results": results,
+        "compile_sizes": [int(s) for s in compile_sizes],
+        "compile_repeats": compile_repeats,
+        "compile_results": compile_results,
     }
 
 
@@ -193,10 +282,15 @@ def write_bench_file(
     repeats: int = 3,
     seed: int = 2025,
     backend: str | None = None,
+    compile_sizes: Sequence[int] = DEFAULT_COMPILE_SIZES,
 ) -> dict:
     """Run :func:`run_emitter_bench` and dump the record to ``path``."""
     record = run_emitter_bench(
-        sizes=sizes, repeats=repeats, seed=seed, backend=backend
+        sizes=sizes,
+        repeats=repeats,
+        seed=seed,
+        backend=backend,
+        compile_sizes=compile_sizes,
     )
     path = Path(path)
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")

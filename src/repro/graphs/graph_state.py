@@ -85,9 +85,16 @@ class GraphState:
         return state
 
     def copy(self) -> "GraphState":
-        """Return a deep copy (vertex labels are shared, structure is not)."""
+        """Return a deep copy (vertex labels are shared, structure is not).
+
+        The packed-adjacency snapshot is carried over: it is an immutable
+        value of the same structure, so sharing it is safe and keeps the
+        copy-then-mutate loops (the partitioner's LC search) on the cheap
+        row-XOR update path instead of rebuilding the rows per copy.
+        """
         clone = GraphState()
         clone._graph = self._graph.copy()
+        clone._packed_adjacency = self._packed_adjacency
         return clone
 
     # ------------------------------------------------------------------ #
@@ -243,11 +250,31 @@ class GraphState:
         to ``v`` itself are untouched.  See
         :mod:`repro.graphs.local_complementation` for the unitary this
         corresponds to on the quantum state.
+
+        When a :class:`PackedAdjacency` snapshot is cached it is *updated* by
+        row XOR (``row_u ^= row_v & ~bit_u`` for every neighbour ``u``)
+        rather than invalidated, so LC-heavy loops (the partitioner's search,
+        cut-rank evaluation after LC) keep their packed rows warm.
         """
         neighbours = list(self.neighbors(v))
+        graph = self._graph
         for i in range(len(neighbours)):
             for j in range(i + 1, len(neighbours)):
-                self.toggle_edge(neighbours[i], neighbours[j])
+                u, w = neighbours[i], neighbours[j]
+                if graph.has_edge(u, w):
+                    graph.remove_edge(u, w)
+                else:
+                    graph.add_edge(u, w)
+        cached = self._packed_adjacency
+        if cached is not None:
+            mask = cached.rows[cached.index[v]]
+            rows = list(cached.rows)
+            for u in neighbours:
+                iu = cached.index[u]
+                rows[iu] ^= mask & ~(1 << iu)
+            self._packed_adjacency = PackedAdjacency(
+                index=cached.index, rows=tuple(rows), full_mask=cached.full_mask
+            )
 
     # ------------------------------------------------------------------ #
     # Derived structures

@@ -76,8 +76,11 @@ JOB_KINDS = ("comparison", "compile", "duration", "lc_stem_edges")
 
 #: Bump when a change invalidates previously cached results (new metrics,
 #: changed semantics of an existing job kind, …).  v2: first-class
-#: ``ordering`` field (emission-ordering strategy) on every job.
-JOB_SCHEMA_VERSION = 2
+#: ``ordering`` field (emission-ordering strategy) on every job.  v3: the
+#: reduction engine emits leftover DISCONNECT operations in deterministic
+#: sorted order (one-pass ``disconnect_all_emitter_edges``), which reorders
+#: trailing CZ gates and the timing-derived metrics of affected circuits.
+JOB_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)

@@ -257,22 +257,26 @@ class StabilizerState:
         """
         n = self.num_qubits
         if self._packed:
-            scratch_x = np.zeros(self._num_words, dtype=np.uint64)
-            scratch_z = np.zeros(self._num_words, dtype=np.uint64)
-            scratch_r = 0
-            for i in range(n):
-                if selected[i]:
-                    phase = 2 * scratch_r + 2 * int(self.r[n + i])
-                    phase += int(
-                        pauli_phase_terms(
-                            self._xw[n + i], self._zw[n + i], scratch_x, scratch_z
-                        )
-                    )
-                    phase %= 4
-                    scratch_r = 1 if phase == 2 else 0
-                    scratch_x ^= self._xw[n + i]
-                    scratch_z ^= self._zw[n + i]
-            return scratch_r
+            # The sequential left-fold satisfies
+            # ``2 * sign_final == sum_k (2 * r_k + g_k)  (mod 4)`` (every
+            # intermediate product is a valid Pauli, so each partial phase is
+            # 0 or 2 mod 4), which lets the whole product be evaluated in one
+            # batch: prefix-XOR the selected rows to obtain each step's
+            # accumulated Pauli and sum the phase terms vectorised.
+            rows = np.nonzero(np.asarray(selected[:n]) != 0)[0]
+            if rows.size == 0:
+                return 0
+            sel_x = self._xw[n + rows]
+            sel_z = self._zw[n + rows]
+            prefix_x = np.zeros_like(sel_x)
+            prefix_z = np.zeros_like(sel_z)
+            if rows.size > 1:
+                np.bitwise_xor.accumulate(sel_x[:-1], axis=0, out=prefix_x[1:])
+                np.bitwise_xor.accumulate(sel_z[:-1], axis=0, out=prefix_z[1:])
+            phase = 2 * int(self.r[n + rows].astype(np.int64).sum()) + int(
+                pauli_phase_terms(sel_x, sel_z, prefix_x, prefix_z).sum()
+            )
+            return 1 if phase % 4 == 2 else 0
         scratch_x = np.zeros(n, dtype=np.uint8)
         scratch_z = np.zeros(n, dtype=np.uint8)
         scratch_r = 0

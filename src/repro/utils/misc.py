@@ -10,10 +10,24 @@ import numpy as np
 __all__ = [
     "check_non_negative",
     "check_positive",
+    "iter_bits",
     "make_rng",
     "pairs",
     "normalize_edge",
 ]
+
+
+def iter_bits(value: int) -> Iterator[int]:
+    """Yield the set-bit positions of ``value`` in ascending order.
+
+    The workhorse of the bitset fast paths: adjacency rows are stored as
+    arbitrary-precision integers, and iterating their set bits enumerates
+    neighbours in index order.
+    """
+    while value:
+        low = value & -value
+        yield low.bit_length() - 1
+        value ^= low
 
 
 def check_positive(name: str, value: float) -> None:
