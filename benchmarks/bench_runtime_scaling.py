@@ -23,7 +23,10 @@ Environment knobs (used by the CI smoke job to keep runtimes tiny):
   assertion only applies from 256 qubits up);
 * ``REPRO_BENCH_COMPILE_QUBITS`` — graph size for the end-to-end
   dense-vs-packed ``compile_graph`` case (default ``256``; the floor
-  assertion only applies from 256 qubits up).
+  assertion only applies from 256 qubits up);
+* ``REPRO_BENCH_CACHE_QUBITS`` — lattice size for the cold-vs-warm
+  subgraph-compile-cache case (default ``128``; the warm-speedup floor only
+  applies from 128 qubits up — the nonzero-hit-rate assertion always does).
 """
 
 from __future__ import annotations
@@ -53,6 +56,7 @@ SIZES = _env_sizes("REPRO_BENCH_SIZES", (10, 20, 40, 60))
 KERNEL_QUBITS = int(os.environ.get("REPRO_BENCH_KERNEL_QUBITS", "512"))
 HEIGHT_QUBITS = int(os.environ.get("REPRO_BENCH_HEIGHT_QUBITS", "256"))
 COMPILE_QUBITS = int(os.environ.get("REPRO_BENCH_COMPILE_QUBITS", "256"))
+CACHE_QUBITS = int(os.environ.get("REPRO_BENCH_CACHE_QUBITS", "128"))
 
 #: Assert the packed backend is at least this many times faster (only at
 #: KERNEL_QUBITS >= 256; generous vs the typical 3-6x to absorb CI noise).
@@ -67,6 +71,11 @@ MIN_HEIGHT_SPEEDUP = 5.0
 #: least this factor (only at COMPILE_QUBITS >= 256; the typical measurement
 #: is ~3x — the floor is generous to absorb CI noise).
 MIN_COMPILE_SPEEDUP = 2.0
+
+#: Assert the warm subgraph compile cache beats the cache-disabled (cold)
+#: compile by at least this factor on a repeated-leaf lattice (only at
+#: CACHE_QUBITS >= 128; the typical measurement is ~10x).
+MIN_CACHE_SPEEDUP = 3.0
 
 
 def _run():
@@ -258,3 +267,62 @@ def test_reduction_fast_path_speedup(benchmark):
     benchmark.extra_info["compile_speedup"] = speedup
     if n >= 256:
         assert speedup >= MIN_COMPILE_SPEEDUP
+
+
+# --------------------------------------------------------------------------- #
+# Subgraph compile cache: cold vs warm on a repeated-leaf lattice sweep
+# --------------------------------------------------------------------------- #
+
+
+def test_subgraph_cache_warm_speedup(benchmark):
+    """Cold-vs-warm ``compile_graph`` through the isomorphism-keyed cache.
+
+    A lattice sweep is compiled with the cache disabled (cold — the
+    historical behaviour) and then twice against one process cache.  The
+    warm pass must observe a nonzero cache-hit rate (the partitioner emits
+    the same leaf shapes over and over up to relabeling), warm circuits
+    must be bit-identical to the cold compile, and at ``n >= 128`` the warm
+    compile must be at least ``MIN_CACHE_SPEEDUP`` times faster than cold.
+    """
+    from repro.core.compile_cache import get_process_cache, reset_process_cache
+    from repro.core.compiler import compile_graph
+    from repro.graphs.generators import benchmark_graph
+
+    sizes = (CACHE_QUBITS, max(8, CACHE_QUBITS // 2))
+    graphs = [benchmark_graph("lattice", n) for n in sizes]
+
+    def measure():
+        cold_results = [compile_graph(g, subgraph_cache=False) for g in graphs]
+        cold_s = _median_seconds(
+            lambda: [compile_graph(g, subgraph_cache=False) for g in graphs],
+            repeats=1,
+        )
+        reset_process_cache()
+        [compile_graph(g) for g in graphs]  # populate the cache
+        cache = get_process_cache()
+        before = cache.stats.snapshot()
+        warm_results = [compile_graph(g) for g in graphs]
+        stats = cache.stats.delta(before)
+        warm_s = _median_seconds(
+            lambda: [compile_graph(g) for g in graphs], repeats=3
+        )
+        reset_process_cache()
+        for cached, fresh in zip(warm_results, cold_results):
+            assert cached.circuit.gates == fresh.circuit.gates
+            assert cached.metrics == fresh.metrics
+        return cold_s, warm_s, stats
+
+    cold_s, warm_s, stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = cold_s / warm_s
+    print()
+    print(
+        f"subgraph cache @ lattice {sizes}: cold {cold_s:.3f} s, "
+        f"warm {warm_s:.3f} s, speedup {speedup:.1f}x, "
+        f"hit rate {stats['hit_rate']:.2f}"
+    )
+    benchmark.extra_info["cache_speedup"] = speedup
+    benchmark.extra_info["cache_hit_rate"] = stats["hit_rate"]
+    assert stats["hits"] > 0
+    assert stats["hit_rate"] > 0.0
+    if CACHE_QUBITS >= 128:
+        assert speedup >= MIN_CACHE_SPEEDUP

@@ -26,6 +26,12 @@ selectable per call (``backend="dense"``), per compilation
     with use_backend("packed"):
         ...                               # temporarily back on the fast path
 
+Per-leaf ordering searches are memoized by exact graph isomorphism: the
+partitioner emits the same small subgraph over and over up to relabeling, and
+the subgraph compile cache (:mod:`repro.core.compile_cache`, on by default)
+answers every repeat by remapping the cached result through the canonical
+permutation — bit-identical circuits, a fraction of the cost.
+
 Whole sweeps go through the batch pipeline — declarative picklable jobs,
 process-pool fan-out and content-hash result caching::
 
@@ -126,7 +132,7 @@ from repro.utils.backend import (
     use_backend,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",

@@ -13,8 +13,8 @@ Six subcommands cover the common workflows:
 * ``repro loadgen`` — drive a server closed-loop and report throughput,
   latency percentiles and the cache-hit rate;
 * ``repro bench`` — run the emitter perf-trajectory benchmark
-  (naive-vs-incremental height function, dense-vs-packed end-to-end compile)
-  and write ``BENCH_emitters.json``.
+  (naive-vs-incremental height function, dense-vs-packed end-to-end compile,
+  cold-vs-warm subgraph compile cache) and write ``BENCH_emitters.json``.
 
 Examples::
 
@@ -28,9 +28,11 @@ Examples::
     repro batch --families regular smallworld erdos --sizes 12 16 --cache-dir .repro-cache
     repro batch --families ghz surface --sizes 9 --ordering greedy
     repro serve --port 8765 --cache-dir .repro-service-cache
+    repro serve --port 8765 --subgraph-cache-dir .repro-subgraph-cache
     repro loadgen --url http://127.0.0.1:8765 --families lattice --sizes 10 14
     repro loadgen --self-serve --cache-dir .repro-service-cache --requests 40
     repro bench --sizes 64 128 256 --compile-sizes 32 64 128 --output BENCH_emitters.json
+    repro bench --cache-sizes 128 256 --output BENCH_emitters.json
 
 Every subcommand exits with its own non-zero code on failure so scripts can
 tell what broke: ``2`` usage (argparse), ``3`` compile, ``4`` figure, ``5``
@@ -277,6 +279,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="maximum requests per micro-batch",
     )
     serve_parser.add_argument(
+        "--subgraph-cache-dir",
+        default=None,
+        help="persistent disk tier for the isomorphism-keyed subgraph "
+        "compile cache (exported as REPRO_SUBGRAPH_CACHE_DIR so pool "
+        "workers inherit it; omit for a memory-only cache)",
+    )
+    serve_parser.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request"
     )
 
@@ -366,6 +375,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 32 64 128 256; pass with no values to skip the section)",
     )
     bench_parser.add_argument(
+        "--cache-sizes",
+        type=int,
+        nargs="*",
+        default=None,
+        help="vertex counts for the subgraph-compile-cache section, swept "
+        "over the lattice/surface/regular zoo families "
+        "(default: 128 256; pass with no values to skip the section)",
+    )
+    bench_parser.add_argument(
         "--repeats", type=int, default=3, help="timing repetitions per point"
     )
     bench_parser.add_argument(
@@ -398,6 +416,13 @@ def _run_compile(args: argparse.Namespace) -> int:
     print("framework result:")
     for key, value in sorted(result.summary().items()):
         print(f"  {key}: {value}")
+    if result.subgraph_cache_stats is not None:
+        stats = result.subgraph_cache_stats
+        print(
+            "subgraph compile cache: "
+            f"hits {stats['hits']}  misses {stats['misses']}  "
+            f"hit rate {stats['hit_rate']:.2f}"
+        )
     if args.baseline:
         baseline = BaselineCompiler(hardware=config.hardware, verify=args.verify).compile(graph)
         print("baseline result:")
@@ -493,6 +518,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         batch_window_seconds=args.batch_window_ms / 1000.0,
         max_batch=args.max_batch,
+        subgraph_cache_dir=args.subgraph_cache_dir,
     )
     server = CompileServer((args.host, args.port), service, verbose=args.verbose)
     host, port = server.server_address[:2]
@@ -566,6 +592,7 @@ def _run_loadgen(args: argparse.Namespace) -> int:
 def _run_bench(args: argparse.Namespace) -> int:
     from repro.evaluation.perf import (
         DEFAULT_BENCH_SIZES,
+        DEFAULT_CACHE_SIZES,
         DEFAULT_COMPILE_SIZES,
         write_bench_file,
     )
@@ -576,6 +603,11 @@ def _run_bench(args: argparse.Namespace) -> int:
         if args.compile_sizes is not None
         else DEFAULT_COMPILE_SIZES
     )
+    cache_sizes = (
+        tuple(args.cache_sizes)
+        if args.cache_sizes is not None
+        else DEFAULT_CACHE_SIZES
+    )
     record = write_bench_file(
         args.output,
         sizes=sizes,
@@ -583,6 +615,7 @@ def _run_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         backend=args.backend,
         compile_sizes=compile_sizes,
+        cache_sizes=cache_sizes,
     )
     print("height function (naive per-prefix vs incremental engine):")
     print(
@@ -615,6 +648,33 @@ def _run_bench(args: argparse.Namespace) -> int:
                         row["num_emitter_emitter_cnots"],
                     ]
                     for row in record["compile_results"]
+                ],
+            )
+        )
+    if record["cache_results"]:
+        print("subgraph compile cache (cold vs first-run vs warm compile_graph):")
+        print(
+            render_table(
+                [
+                    "family",
+                    "vertices",
+                    "cold_s",
+                    "first_run_s",
+                    "warm_s",
+                    "warm_speedup",
+                    "hit_rate",
+                ],
+                [
+                    [
+                        row["family"],
+                        row["num_vertices"],
+                        f"{row['cold_median_seconds']:.4f}",
+                        f"{row['first_run_median_seconds']:.4f}",
+                        f"{row['warm_median_seconds']:.4f}",
+                        f"{row['warm_speedup']:.1f}x",
+                        f"{row['warm_hit_rate']:.2f}",
+                    ]
+                    for row in record["cache_results"]
                 ],
             )
         )

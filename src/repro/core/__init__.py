@@ -18,6 +18,13 @@ The underlying exact rewrite machinery lives in :mod:`repro.core.reduction`
 and is shared with the baseline compiler.
 """
 
+from repro.core.compile_cache import (
+    CachedCompilation,
+    CacheStats,
+    SubgraphCompileCache,
+    get_process_cache,
+    reset_process_cache,
+)
 from repro.core.reduction import (
     InsufficientEmittersError,
     ReductionOp,
@@ -40,6 +47,11 @@ from repro.core.ordering import (
 )
 
 __all__ = [
+    "CachedCompilation",
+    "CacheStats",
+    "SubgraphCompileCache",
+    "get_process_cache",
+    "reset_process_cache",
     "InsufficientEmittersError",
     "PackedReductionState",
     "ReductionOp",

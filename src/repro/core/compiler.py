@@ -73,6 +73,16 @@ class CompilationResult:
     verified: bool | None = None
     ordering_strategy: str = "natural"
     ordering_peak: int | None = None
+    #: Subgraph-compile-cache counter delta observed over this compilation
+    #: (``None`` when the cache is disabled).  The counters belong to the
+    #: shared process-wide cache, so with *concurrent* compilations in one
+    #: process the delta includes the other threads' lookups — treat it as
+    #: best-effort observability, not an exact per-compile ledger.
+    #: Deliberately kept out of :meth:`summary`: hit counts depend on
+    #: process state (warm vs cold cache), and summaries must stay a
+    #: deterministic function of the job for content-hash result caching to
+    #: be sound.
+    subgraph_cache_stats: dict[str, float] | None = None
 
     @property
     def num_emitter_emitter_cnots(self) -> int:
@@ -163,10 +173,15 @@ class EmitterCompiler:
         emitter_limit = max(emitter_limit, 1)
 
         # 3. Per-subgraph compilation under the flexible constraint.
+        cache = self._subgraph_compiler.cache
+        cache_before = cache.stats.snapshot() if cache is not None else None
         subgraph_results: list[dict[int, SubgraphCompilationResult]] = []
         for block in partition.blocks:
             subgraph = working_graph.induced_subgraph(block)
             subgraph_results.append(self._subgraph_compiler.compile_flexible(subgraph))
+        subgraph_cache_stats = (
+            cache.stats.delta(cache_before) if cache is not None else None
+        )
 
         # 4. Recombination plan.
         schedule_plan: SchedulePlan | None = None
@@ -236,6 +251,7 @@ class EmitterCompiler:
             ordering_peak=(
                 ordering_search.peak_height if ordering_search is not None else None
             ),
+            subgraph_cache_stats=subgraph_cache_stats,
         )
 
     # ------------------------------------------------------------------ #

@@ -56,6 +56,14 @@ class CompilerConfig:
             (``"alap"`` delays emissions and is the framework default;
             ``"asap"`` reproduces baseline behaviour).
         use_twin_rule: enable the twin-absorption rewrite in the reduction.
+        subgraph_cache: memoize per-leaf ordering searches in the
+            process-wide isomorphism-keyed compile cache
+            (:mod:`repro.core.compile_cache`).  Leaf searches always run in
+            canonical space, so toggling the cache never changes results —
+            only whether repeated (isomorphic) leaves pay for the search
+            again.
+        subgraph_cache_size: capacity of the process-wide compile cache (the
+            shared cache grows to the largest request it has seen).
         verify: re-simulate compiled circuits on the stabilizer tableau.
         gf2_backend: GF(2)/tableau kernel backend pinned for the whole
             compilation (``"dense"`` or ``"packed"``); ``None`` keeps the
@@ -78,6 +86,8 @@ class CompilerConfig:
     ordering_iterations: int = 150
     scheduling_policy: str = "alap"
     use_twin_rule: bool = True
+    subgraph_cache: bool = True
+    subgraph_cache_size: int = 4096
     verify: bool = False
     gf2_backend: str | None = None
     hardware: HardwareModel = field(default_factory=quantum_dot)
@@ -110,6 +120,8 @@ class CompilerConfig:
             )
         if self.ordering_iterations < 1:
             raise ValueError("ordering_iterations must be >= 1")
+        if self.subgraph_cache_size < 1:
+            raise ValueError("subgraph_cache_size must be >= 1")
         if self.scheduling_policy not in ("asap", "alap"):
             raise ValueError("scheduling_policy must be 'asap' or 'alap'")
         if self.gf2_backend is not None and self.gf2_backend not in BACKENDS:

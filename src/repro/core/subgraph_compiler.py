@@ -14,6 +14,20 @@ affordable.  The compiler
 4. repeats the above for several emitter budgets (the *flexible resource
    constraint*: ``n_e^min``, ``n_e^min + 1`` ... ``n_e^min + slack``), so the
    scheduler can later trade emitters for parallelism.
+
+**Isomorphism memoization.**  Structured targets hand the partitioner the
+same small graph over and over up to vertex relabeling, so the search runs
+in *canonical space*: the leaf is canonically relabelled
+(:mod:`repro.graphs.canonical_form`), the search runs on the canonical
+representative with an RNG derived from the canonical key (identical leaves
+always run identical searches, regardless of partition order or labels), and
+the winning order/sequence/metrics are memoized in the
+:mod:`repro.core.compile_cache` keyed by canonical key, emitter budget and
+the search-relevant config fingerprint.  On a hit the cached sequence is
+remapped through the canonical permutation instead of re-searched; results
+are bit-identical to a cache-off compile by construction.  Graphs too large
+or too symmetric to canonicalise cheaply fall back to the direct
+(uncached) search.
 """
 
 from __future__ import annotations
@@ -26,11 +40,23 @@ import numpy as np
 
 from repro.circuit.circuit import Circuit
 from repro.circuit.metrics import CircuitMetrics, compute_metrics
+from repro.core.compile_cache import (
+    CachedCompilation,
+    SubgraphCompileCache,
+    config_fingerprint,
+    get_process_cache,
+)
 from repro.core.config import CompilerConfig
 from repro.core.ordering import optimize_emission_ordering
 from repro.core.plan_scoring import score_sequence
 from repro.core.reduction import ReductionSequence
 from repro.core.strategies import GreedyReductionStrategy, greedy_reduce
+from repro.graphs.canonical_form import (
+    CanonicalForm,
+    CanonicalizationBudgetError,
+    canonical_form,
+    canonical_key_digest,
+)
 from repro.graphs.entanglement import minimum_emitters
 from repro.graphs.graph_state import GraphState
 from repro.utils.misc import make_rng
@@ -38,6 +64,11 @@ from repro.utils.misc import make_rng
 __all__ = ["SubgraphCompilationResult", "SubgraphCompiler", "candidate_processing_orders"]
 
 Vertex = Hashable
+
+#: Leaves above this size skip canonicalisation (and hence the cache): the
+#: individualization search is sized for the ``g_max ≈ 7`` leaf regime, and
+#: larger graphs essentially never repeat anyway.
+CANONICAL_MAX_VERTICES = 12
 
 
 @dataclass
@@ -117,8 +148,6 @@ def candidate_processing_orders(
     add(list(vertices))
 
     # BFS-based orders from a few seeds (locality-preserving emission).
-    import networkx as nx
-
     for seed_vertex in sorted(vertices, key=lambda v: -degree[v])[:4]:
         bfs_order = [seed_vertex]
         visited = {seed_vertex}
@@ -138,7 +167,6 @@ def candidate_processing_orders(
                 visited.add(leftover)
         add(bfs_order)
         add(list(reversed(bfs_order)))
-    del nx
 
     while len(candidates) < max_candidates:
         permutation = list(vertices)
@@ -150,11 +178,32 @@ def candidate_processing_orders(
 
 
 class SubgraphCompiler:
-    """Search-based compiler for a single subgraph."""
+    """Search-based compiler for a single subgraph.
 
-    def __init__(self, config: CompilerConfig | None = None):
+    Parameters
+    ----------
+    config : CompilerConfig | None, optional
+        Compilation knobs; ``None`` uses the defaults.
+    cache : SubgraphCompileCache | None, optional
+        Explicit compile cache (tests, dedicated pools).  By default the
+        process-wide cache of :func:`repro.core.compile_cache.get_process_cache`
+        is used when ``config.subgraph_cache`` is enabled.
+    """
+
+    def __init__(
+        self,
+        config: CompilerConfig | None = None,
+        cache: SubgraphCompileCache | None = None,
+    ):
         self.config = config if config is not None else CompilerConfig()
         self._rng = make_rng(self.config.seed)
+        self._fingerprint = config_fingerprint(self.config)
+        if cache is not None:
+            self.cache = cache
+        elif self.config.subgraph_cache:
+            self.cache = get_process_cache(self.config.subgraph_cache_size)
+        else:
+            self.cache = None
 
     # ------------------------------------------------------------------ #
 
@@ -170,6 +219,163 @@ class SubgraphCompiler:
             iterations=config.ordering_iterations,
         )
 
+    def _canonicalize(self, subgraph: GraphState) -> CanonicalForm | None:
+        """Canonical form of a leaf, or ``None`` when out of the cheap regime."""
+        if subgraph.num_vertices > CANONICAL_MAX_VERTICES:
+            return None
+        try:
+            return canonical_form(subgraph)
+        except CanonicalizationBudgetError:  # pragma: no cover - needs n > 12
+            return None
+
+    def _derived_rng(self, canonical_key: tuple[int, int]) -> np.random.Generator:
+        """Order-search RNG derived from the canonical key and the config seed.
+
+        Identical subgraphs therefore always sample identical candidate
+        orders, no matter how many leaves were compiled before them — the
+        property that makes the compile cache coherent (and leaf results
+        independent of partition order).
+        """
+        digest = canonical_key_digest(canonical_key)
+        return make_rng(
+            np.random.default_rng(
+                [
+                    self.config.seed & 0xFFFFFFFF,
+                    int(digest[:16], 16),
+                    int(digest[16:32], 16),
+                ]
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # The ordering search (shared by the canonical and direct paths)
+    # ------------------------------------------------------------------ #
+
+    def _search(
+        self,
+        graph: GraphState,
+        emitter_budget: int,
+        seeded_order: Sequence[Vertex] | None,
+        rng: np.random.Generator,
+    ) -> tuple[list[Vertex], ReductionSequence, int, int]:
+        """Best processing order for ``graph`` under ``emitter_budget``.
+
+        Returns ``(order, sequence, orders_evaluated, search_max_emitters)``
+        where the last entry is the largest emitter pool *any* candidate
+        allocated — strictly below the budget, the search provably never felt
+        budget pressure and its result holds for every larger budget.
+        """
+        config = self.config
+        strategy = GreedyReductionStrategy(
+            emitter_budget=emitter_budget,
+            enable_twin_rule=config.use_twin_rule,
+        )
+        orders = candidate_processing_orders(
+            graph,
+            max_candidates=config.max_order_candidates,
+            exhaustive_threshold=config.exhaustive_order_threshold,
+            rng=rng,
+        )
+        if seeded_order is not None:
+            candidate = list(seeded_order)
+            if candidate in orders:
+                orders.remove(candidate)
+            orders.insert(0, candidate)
+
+        # Rank candidate orders by the op-sequence score (bit-identical to
+        # the circuit-backed metrics, see repro.core.plan_scoring); only the
+        # winning order pays for the circuit build and the full metrics.
+        best: tuple[tuple[float, float, float], list[Vertex], ReductionSequence] | None
+        best = None
+        search_max_emitters = 0
+        for order in orders:
+            sequence = greedy_reduce(graph, processing_order=order, strategy=strategy)
+            search_max_emitters = max(search_max_emitters, sequence.num_emitters)
+            key = score_sequence(
+                sequence,
+                durations=config.hardware.durations,
+                policy="alap",
+                cnot_cutoff=best[0][0] if best is not None else None,
+            )
+            if key is not None and (best is None or key < best[0]):
+                best = (key, list(order), sequence)
+        assert best is not None
+        _, best_order, best_sequence = best
+        return best_order, best_sequence, len(orders), search_max_emitters
+
+    def _search_canonical(
+        self,
+        canonical: CanonicalForm,
+        canon_graph: GraphState,
+        emitter_budget: int,
+        canon_seed: tuple[int, ...] | None,
+    ) -> CachedCompilation:
+        """Run the search on the canonical representative; package the entry."""
+        order, sequence, evaluated, search_max = self._search(
+            canon_graph,
+            emitter_budget,
+            list(canon_seed) if canon_seed is not None else None,
+            self._derived_rng(canonical.key),
+        )
+        circuit = sequence.to_circuit()
+        metrics = compute_metrics(
+            circuit,
+            durations=self.config.hardware.durations,
+            policy="alap",
+        )
+        return CachedCompilation(
+            processing_order=tuple(order),
+            operations=tuple(sequence.operations),
+            num_photons=sequence.num_photons,
+            num_emitters=sequence.num_emitters,
+            emitters_over_budget=sequence.emitters_over_budget,
+            metrics=metrics,
+            orders_evaluated=evaluated,
+            search_max_emitters=search_max,
+            _circuit=circuit,
+        )
+
+    def _result_from_entry(
+        self,
+        subgraph: GraphState,
+        canonical: CanonicalForm,
+        entry: CachedCompilation,
+        emitter_budget: int,
+    ) -> SubgraphCompilationResult:
+        """Remap a canonical-space entry back onto ``subgraph``'s labels.
+
+        Photon indices *are* canonical labels (``photon_of_vertex[v] =
+        to_canonical[v]``), so the cached op sequence and circuit carry over
+        unchanged; only the processing order needs the inverse permutation.
+        """
+        order = [canonical.from_canonical[c] for c in entry.processing_order]
+        sequence = ReductionSequence(
+            operations=list(entry.operations),
+            num_photons=entry.num_photons,
+            num_emitters=entry.num_emitters,
+            photon_of_vertex={
+                v: canonical.to_canonical[v] for v in subgraph.vertices()
+            },
+            emitters_over_budget=entry.emitters_over_budget,
+        )
+        return SubgraphCompilationResult(
+            subgraph=subgraph,
+            processing_order=order,
+            sequence=sequence,
+            # Hand out a (cheap, leaf-sized) copy: Circuit is mutable, and a
+            # caller editing a result must never corrupt the shared cache
+            # entry behind every other compilation in the process.
+            circuit=entry.circuit().copy(),
+            metrics=entry.metrics,
+            emitter_budget=emitter_budget,
+            num_emitters_used=entry.num_emitters,
+            orders_evaluated=entry.orders_evaluated,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Compilation entry points
+    # ------------------------------------------------------------------ #
+
     def compile(
         self,
         subgraph: GraphState,
@@ -182,67 +388,87 @@ class SubgraphCompiler:
         of the candidate pool; when omitted and an ordering strategy is
         configured, the emission-ordering optimiser provides one.
         """
+        result, _ = self._compile_with_info(subgraph, emitter_budget, seeded_order)
+        return result
+
+    def _compile_with_info(
+        self,
+        subgraph: GraphState,
+        emitter_budget: int | None = None,
+        seeded_order: Sequence[Vertex] | None = None,
+        canonical: CanonicalForm | None = None,
+    ) -> tuple[SubgraphCompilationResult, int]:
+        """:meth:`compile` plus the search's ``search_max_emitters``."""
         if subgraph.num_vertices == 0:
             raise ValueError("cannot compile an empty subgraph")
-        config = self.config
         if emitter_budget is None:
             emitter_budget = minimum_emitters(subgraph)
-        strategy = GreedyReductionStrategy(
-            emitter_budget=emitter_budget,
-            enable_twin_rule=config.use_twin_rule,
-        )
-        orders = candidate_processing_orders(
-            subgraph,
-            max_candidates=config.max_order_candidates,
-            exhaustive_threshold=config.exhaustive_order_threshold,
-            rng=self._rng,
-        )
+        if canonical is None:
+            canonical = self._canonicalize(subgraph)
+        if canonical is None:
+            return self._compile_direct(subgraph, emitter_budget, seeded_order)
+
+        canon_graph: GraphState | None = None
+        if seeded_order is not None:
+            canon_seed: tuple[int, ...] | None = tuple(
+                canonical.to_canonical[v] for v in seeded_order
+            )
+        else:
+            canon_seed = None
+            if self.config.ordering_strategy != "natural":
+                # Seed the search with the incremental-engine ordering
+                # optimiser, run in canonical space so it is label-invariant:
+                # its low-peak emission ordering, replayed in reversed time,
+                # is a strong processing-order candidate under tight budgets.
+                canon_graph = canonical.build_graph()
+                optimised = self._optimised_ordering(canon_graph)
+                if optimised is not None:
+                    canon_seed = tuple(reversed(optimised.ordering))
+
+        key = (canonical.key, emitter_budget, canon_seed, self._fingerprint)
+        entry = self.cache.get(key) if self.cache is not None else None
+        if entry is None:
+            if canon_graph is None:
+                canon_graph = canonical.build_graph()
+            entry = self._search_canonical(
+                canonical, canon_graph, emitter_budget, canon_seed
+            )
+            if self.cache is not None:
+                self.cache.put(key, entry)
+        result = self._result_from_entry(subgraph, canonical, entry, emitter_budget)
+        return result, entry.search_max_emitters
+
+    def _compile_direct(
+        self,
+        subgraph: GraphState,
+        emitter_budget: int,
+        seeded_order: Sequence[Vertex] | None,
+    ) -> tuple[SubgraphCompilationResult, int]:
+        """The uncached search on the subgraph's own labels (large leaves)."""
         if seeded_order is None:
-            # Seed the search with the incremental-engine ordering optimiser:
-            # its low-peak emission ordering, replayed in reversed time, is a
-            # strong processing-order candidate under tight budgets.
             optimised = self._optimised_ordering(subgraph)
             if optimised is not None:
                 seeded_order = list(reversed(optimised.ordering))
-        if seeded_order is not None:
-            candidate = list(seeded_order)
-            if candidate in orders:
-                orders.remove(candidate)
-            orders.insert(0, candidate)
-
-        # Rank candidate orders by the op-sequence score (bit-identical to
-        # the circuit-backed metrics, see repro.core.plan_scoring); only the
-        # winning order pays for the circuit build and the full metrics.
-        best: tuple[tuple[float, float, float], list[Vertex], ReductionSequence] | None
-        best = None
-        for order in orders:
-            sequence = greedy_reduce(subgraph, processing_order=order, strategy=strategy)
-            key = score_sequence(
-                sequence,
-                durations=config.hardware.durations,
-                policy="alap",
-                cnot_cutoff=best[0][0] if best is not None else None,
-            )
-            if key is not None and (best is None or key < best[0]):
-                best = (key, list(order), sequence)
-        assert best is not None
-        _, best_order, best_sequence = best
-        circuit = best_sequence.to_circuit()
+        order, sequence, evaluated, search_max = self._search(
+            subgraph, emitter_budget, seeded_order, self._rng
+        )
+        circuit = sequence.to_circuit()
         metrics = compute_metrics(
             circuit,
-            durations=config.hardware.durations,
+            durations=self.config.hardware.durations,
             policy="alap",
         )
-        return SubgraphCompilationResult(
+        result = SubgraphCompilationResult(
             subgraph=subgraph,
-            processing_order=best_order,
-            sequence=best_sequence,
+            processing_order=order,
+            sequence=sequence,
             circuit=circuit,
             metrics=metrics,
             emitter_budget=emitter_budget,
-            num_emitters_used=best_sequence.num_emitters,
-            orders_evaluated=len(orders),
+            num_emitters_used=sequence.num_emitters,
+            orders_evaluated=evaluated,
         )
+        return result, search_max
 
     def compile_flexible(
         self, subgraph: GraphState
@@ -251,20 +477,46 @@ class SubgraphCompiler:
 
         Returns a map ``emitter budget -> best result`` for budgets
         ``n_e^min .. n_e^min + slack``.  Budgets that do not change the
-        outcome are still reported so the scheduler can reason uniformly.
+        outcome are still reported so the scheduler can reason uniformly;
+        when a search provably never felt budget pressure (no candidate
+        allocated up to the budget), the *same result object* is reported
+        for every larger budget instead of re-searching — such a shared
+        object keeps the ``emitter_budget`` of the search that produced it
+        (the dict key, not the field, names the budget slot).
         """
+        if subgraph.num_vertices == 0:
+            raise ValueError("cannot compile an empty subgraph")
         base = minimum_emitters(subgraph)
+        canonical = self._canonicalize(subgraph)
         seeded_order: list[Vertex] | None = None
-        optimised = self._optimised_ordering(subgraph)
-        if optimised is not None:
+        if self.config.ordering_strategy != "natural":
             # One search serves every budget: it certifies a (possibly lower)
-            # per-subgraph emitter bound and seeds each order search.
-            base = min(base, max(optimised.peak_height, 1))
-            seeded_order = list(reversed(optimised.ordering))
+            # per-subgraph emitter bound and seeds each order search.  Run in
+            # canonical space whenever the leaf canonicalises.
+            search_graph = (
+                canonical.build_graph() if canonical is not None else subgraph
+            )
+            optimised = self._optimised_ordering(search_graph)
+            if optimised is not None:
+                base = min(base, max(optimised.peak_height, 1))
+                ordered = list(reversed(optimised.ordering))
+                if canonical is not None:
+                    seeded_order = [canonical.from_canonical[c] for c in ordered]
+                else:
+                    seeded_order = ordered
         results: dict[int, SubgraphCompilationResult] = {}
+        previous: tuple[SubgraphCompilationResult, int, int] | None = None
         for slack in range(self.config.flexible_emitter_slack + 1):
             budget = base + slack
-            results[budget] = self.compile(
-                subgraph, emitter_budget=budget, seeded_order=seeded_order
+            if previous is not None and previous[2] < previous[1]:
+                # The last search never hit its budget: a larger budget
+                # cannot change any candidate's reduction, so the result is
+                # provably identical — report it as-is.
+                results[budget] = previous[0]
+                continue
+            result, search_max = self._compile_with_info(
+                subgraph, budget, seeded_order, canonical
             )
+            results[budget] = result
+            previous = (result, budget, search_max)
         return results

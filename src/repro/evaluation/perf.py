@@ -1,6 +1,6 @@
 """Perf-trajectory benchmark behind ``repro bench``.
 
-Two sections pin the compiler's perf trajectory:
+Three sections pin the compiler's perf trajectory:
 
 * **height function** — the naive from-scratch evaluation (one rank solve
   per prefix, the historical implementation) against the incremental
@@ -10,8 +10,13 @@ Two sections pin the compiler's perf trajectory:
   ``dense`` backend (networkx reduction state, copy-based LC scoring — the
   historical path, kept as the oracle) against the ``packed`` backend
   (bitset reduction engine, LC delta scoring, op-sequence plan scoring),
-  checking bit-identical circuits.  This is the number the batch pipeline
-  and the compile service actually feel.
+  checking bit-identical circuits.  The subgraph compile cache is disabled
+  here so the section keeps measuring the kernels themselves;
+* **subgraph compile cache** — cold-vs-warm ``compile_graph`` on the
+  repeated-leaf zoo families (lattice / rotated surface code / random
+  regular): uncached, empty-cache and warm-cache timings plus the hit
+  rate, checking that warm circuits are bit-identical to uncached ones and
+  still verify on the stabilizer simulator.
 
 ``repro bench`` writes the result to ``BENCH_emitters.json`` so future PRs
 (and the CI bench-smoke artifact) can diff the numbers instead of guessing.
@@ -35,10 +40,13 @@ from repro.graphs.incremental import CutRankEngine
 from repro.utils.backend import get_default_backend, resolve_backend, use_backend
 
 __all__ = [
+    "CACHE_BENCH_FAMILIES",
     "DEFAULT_BENCH_SIZES",
+    "DEFAULT_CACHE_SIZES",
     "DEFAULT_COMPILE_SIZES",
     "bench_graph",
     "naive_height_function",
+    "run_cache_bench",
     "run_compile_bench",
     "run_emitter_bench",
     "write_bench_file",
@@ -53,6 +61,14 @@ DEFAULT_BENCH_SIZES = (64, 128, 256, 512)
 #: Default sweep for the end-to-end compile section (the dense comparator
 #: compiles each size once per repeat, so the sweep stays modest).
 DEFAULT_COMPILE_SIZES = (32, 64, 128, 256)
+
+#: Default sweep for the subgraph-compile-cache section (vertex counts; the
+#: surface family rounds to the closest odd code distance).
+DEFAULT_CACHE_SIZES = (128, 256)
+
+#: Repeated-leaf zoo families measured by the cache section: their
+#: partitions emit the same small subgraphs over and over up to relabeling.
+CACHE_BENCH_FAMILIES = ("lattice", "surface", "regular")
 
 
 def bench_graph(num_vertices: int, seed: int = 2025) -> GraphState:
@@ -128,7 +144,10 @@ def run_compile_bench(
     For every size the two backends are first checked to produce
     *bit-identical* circuits (the packed reduction engine is exact, not a
     heuristic), then timed; medians and the speedup are reported together
-    with the compiled circuit's headline metrics.
+    with the compiled circuit's headline metrics.  The subgraph compile
+    cache is disabled throughout so the section keeps measuring the GF(2)
+    kernels rather than memoized leaf searches (the cache has its own
+    section, :func:`run_cache_bench`).
 
     Parameters
     ----------
@@ -149,17 +168,19 @@ def run_compile_bench(
     results = []
     for size in sizes:
         graph = bench_graph(int(size), seed=seed)
-        packed_result = compile_graph(graph, gf2_backend="packed")
-        dense_result = compile_graph(graph, gf2_backend="dense")
+        packed_result = compile_graph(graph, gf2_backend="packed", subgraph_cache=False)
+        dense_result = compile_graph(graph, gf2_backend="dense", subgraph_cache=False)
         if packed_result.circuit.gates != dense_result.circuit.gates:
             raise AssertionError(  # pragma: no cover - correctness guard
                 f"packed compile diverges from the dense oracle at size {size}"
             )
         packed_median = _median_seconds(
-            lambda g=graph: compile_graph(g, gf2_backend="packed"), repeats
+            lambda g=graph: compile_graph(g, gf2_backend="packed", subgraph_cache=False),
+            repeats,
         )
         dense_median = _median_seconds(
-            lambda g=graph: compile_graph(g, gf2_backend="dense"), repeats
+            lambda g=graph: compile_graph(g, gf2_backend="dense", subgraph_cache=False),
+            repeats,
         )
         results.append(
             {
@@ -181,12 +202,140 @@ def run_compile_bench(
     return results
 
 
+def _cache_bench_spec(family: str, size: int):
+    """A :class:`repro.pipeline.jobs.GraphSpec` of roughly ``size`` vertices.
+
+    The ``surface`` family is parameterised by code distance (``2 d^2 - 1``
+    vertices), so the requested vertex count is rounded to the closest odd
+    distance ``>= 3``.
+    """
+    from repro.pipeline.jobs import GraphSpec
+
+    if family == "surface":
+        import math
+
+        distance = max(3, round(math.sqrt((size + 1) / 2)))
+        if distance % 2 == 0:
+            distance += 1
+        return GraphSpec(family=family, size=distance)
+    return GraphSpec(family=family, size=size)
+
+
+def run_cache_bench(
+    sizes: Sequence[int] = DEFAULT_CACHE_SIZES,
+    repeats: int = 2,
+    families: Sequence[str] = CACHE_BENCH_FAMILIES,
+) -> list[dict]:
+    """Cold-vs-warm ``compile_graph`` through the subgraph compile cache.
+
+    For every ``(family, size)`` point three configurations are timed:
+
+    * ``cold`` — ``subgraph_cache=False``: every leaf search runs, the
+      historical (pre-cache) behaviour;
+    * ``first_run`` — an *empty* process cache (isomorphic leaves within the
+      one graph already coalesce, but every distinct leaf is searched once);
+    * ``warm`` — the populated cache (every leaf is a hit).
+
+    Warm circuits are asserted bit-identical to the cold compile and
+    re-verified on the stabilizer simulator — the cache may only ever change
+    *where* a result comes from, never what it is.
+
+    Parameters
+    ----------
+    sizes : Sequence[int], optional
+        Approximate vertex counts to sweep.
+    repeats : int, optional
+        Timing repetitions per configuration; the median is reported.
+    families : Sequence[str], optional
+        Zoo families to measure (default: the repeated-leaf trio).
+
+    Returns
+    -------
+    list[dict]
+        One JSON-serialisable entry per ``(family, size)`` point.
+    """
+    from repro.circuit.validation import verify_circuit_generates
+    from repro.core.compile_cache import get_process_cache, reset_process_cache
+    from repro.core.compiler import compile_graph
+
+    results = []
+    for size in sizes:
+        for family in families:
+            spec = _cache_bench_spec(family, int(size))
+            graph = spec.build()
+
+            cold_result = compile_graph(graph, subgraph_cache=False)
+            cold_median = _median_seconds(
+                lambda g=graph: compile_graph(g, subgraph_cache=False), repeats
+            )
+
+            first_run_times = []
+            for _ in range(max(1, repeats)):
+                # A first run must start from an empty cache every time.
+                reset_process_cache()
+                start = time.perf_counter()
+                compile_graph(graph)
+                first_run_times.append(time.perf_counter() - start)
+            first_run_median = sorted(first_run_times)[len(first_run_times) // 2]
+
+            cache = get_process_cache()
+            stats_before = cache.stats.snapshot()
+            warm_result = compile_graph(graph)
+            warm_stats = cache.stats.delta(stats_before)
+            warm_median = _median_seconds(lambda g=graph: compile_graph(g), repeats)
+            reset_process_cache()
+
+            if warm_result.circuit.gates != cold_result.circuit.gates:
+                raise AssertionError(  # pragma: no cover - correctness guard
+                    f"warm-cache compile diverges from the cold compile "
+                    f"for {family} at size {size}"
+                )
+            if not verify_circuit_generates(
+                warm_result.circuit,
+                graph,
+                photon_of_vertex=warm_result.sequence.photon_of_vertex,
+            ):
+                raise AssertionError(  # pragma: no cover - correctness guard
+                    f"warm-cache circuit fails verification for {family} "
+                    f"at size {size}"
+                )
+
+            results.append(
+                {
+                    "family": family,
+                    "size": int(size),
+                    "spec_size": spec.size,
+                    "num_vertices": graph.num_vertices,
+                    "num_edges": graph.num_edges,
+                    "cold_median_seconds": cold_median,
+                    "first_run_median_seconds": first_run_median,
+                    "warm_median_seconds": warm_median,
+                    "warm_speedup": (
+                        cold_median / warm_median if warm_median > 0 else float("inf")
+                    ),
+                    "first_run_speedup": (
+                        first_run_median / warm_median
+                        if warm_median > 0
+                        else float("inf")
+                    ),
+                    "warm_hit_rate": warm_stats["hit_rate"],
+                    "warm_hits": warm_stats["hits"],
+                    "warm_misses": warm_stats["misses"],
+                    "num_emitter_emitter_cnots": (
+                        warm_result.metrics.num_emitter_emitter_cnots
+                    ),
+                }
+            )
+    return results
+
+
 def run_emitter_bench(
     sizes: Sequence[int] = DEFAULT_BENCH_SIZES,
     repeats: int = 3,
     seed: int = 2025,
     backend: str | None = None,
     compile_sizes: Sequence[int] = DEFAULT_COMPILE_SIZES,
+    cache_sizes: Sequence[int] = DEFAULT_CACHE_SIZES,
 ) -> dict:
     """Measure naive-vs-incremental height functions across ``sizes``.
 
@@ -203,6 +352,9 @@ def run_emitter_bench(
     compile_sizes : Sequence[int], optional
         Graph sizes for the end-to-end compile section
         (:func:`run_compile_bench`); empty disables the section.
+    cache_sizes : Sequence[int], optional
+        Vertex counts for the subgraph-compile-cache section
+        (:func:`run_cache_bench`); empty disables the section.
 
     Returns
     -------
@@ -210,9 +362,10 @@ def run_emitter_bench(
         JSON-serialisable record: metadata (backend, git revision, python,
         timestamp) plus one entry per size with median seconds for the naive
         and incremental paths, the speedup, and the natural/greedy ordering
-        peaks (the emitter counts the new ordering axis improves), and a
+        peaks (the emitter counts the new ordering axis improves), a
         ``compile_results`` section with dense-vs-packed end-to-end
-        ``compile_graph`` medians per size.
+        ``compile_graph`` medians per size, and a ``cache_results`` section
+        with cold-vs-warm compile-cache medians per zoo family and size.
     """
     resolved = resolve_backend(backend)
     results = []
@@ -259,6 +412,7 @@ def run_emitter_bench(
     compile_results = run_compile_bench(
         sizes=compile_sizes, repeats=compile_repeats, seed=seed
     )
+    cache_results = run_cache_bench(sizes=cache_sizes, repeats=compile_repeats)
     return {
         "benchmark": "emitters",
         "backend": resolved,
@@ -273,6 +427,9 @@ def run_emitter_bench(
         "compile_sizes": [int(s) for s in compile_sizes],
         "compile_repeats": compile_repeats,
         "compile_results": compile_results,
+        "cache_sizes": [int(s) for s in cache_sizes],
+        "cache_families": list(CACHE_BENCH_FAMILIES),
+        "cache_results": cache_results,
     }
 
 
@@ -283,6 +440,7 @@ def write_bench_file(
     seed: int = 2025,
     backend: str | None = None,
     compile_sizes: Sequence[int] = DEFAULT_COMPILE_SIZES,
+    cache_sizes: Sequence[int] = DEFAULT_CACHE_SIZES,
 ) -> dict:
     """Run :func:`run_emitter_bench` and dump the record to ``path``."""
     record = run_emitter_bench(
@@ -291,6 +449,7 @@ def write_bench_file(
         seed=seed,
         backend=backend,
         compile_sizes=compile_sizes,
+        cache_sizes=cache_sizes,
     )
     path = Path(path)
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")

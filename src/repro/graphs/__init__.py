@@ -17,8 +17,16 @@ Modules
 * :mod:`repro.graphs.incremental` — the incremental cut-rank engine: one
   online GF(2) echelon sweep per ordering, with prefix checkpoints for
   ordering searches.
+* :mod:`repro.graphs.canonical_form` — exact canonical labeling for small
+  graphs (the leaf regime), the key of the isomorphism-memoized subgraph
+  compile cache.
 """
 
+from repro.graphs.canonical_form import (
+    CanonicalForm,
+    CanonicalizationBudgetError,
+    canonical_form,
+)
 from repro.graphs.graph_state import GraphState, PackedAdjacency
 from repro.graphs.incremental import CutRankEngine, incremental_height_function
 from repro.graphs.generators import (
@@ -53,6 +61,9 @@ from repro.graphs.entanglement import (
 )
 
 __all__ = [
+    "CanonicalForm",
+    "CanonicalizationBudgetError",
+    "canonical_form",
     "GraphState",
     "PackedAdjacency",
     "CutRankEngine",

@@ -80,7 +80,11 @@ JOB_KINDS = ("comparison", "compile", "duration", "lc_stem_edges")
 #: reduction engine emits leftover DISCONNECT operations in deterministic
 #: sorted order (one-pass ``disconnect_all_emitter_edges``), which reorders
 #: trailing CZ gates and the timing-derived metrics of affected circuits.
-JOB_SCHEMA_VERSION = 3
+#: v4: per-leaf ordering searches run in canonical space with a
+#: canonical-key-derived RNG (isomorphism-memoized subgraph compilation),
+#: which changes the winning orders — and hence circuits/metrics — of
+#: partitioned graphs.
+JOB_SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)

@@ -117,6 +117,12 @@ class CompileService:
         Micro-batching window for concurrent ``/compile`` requests.
     max_batch : int, optional
         Maximum jobs per micro-batch.
+    subgraph_cache_dir : str | None, optional
+        Directory for the *persistent tier* of the isomorphism-keyed
+        subgraph compile cache (:mod:`repro.core.compile_cache`).  Exported
+        through ``REPRO_SUBGRAPH_CACHE_DIR`` so process-pool workers
+        (``max_workers > 1``) inherit it; the in-memory tier is always on
+        (per worker process) unless jobs override ``subgraph_cache``.
     """
 
     #: Async batches kept around for ``/status`` polling; beyond this cap the
@@ -134,7 +140,20 @@ class CompileService:
         max_workers: int = 1,
         batch_window_seconds: float = 0.02,
         max_batch: int = 32,
+        subgraph_cache_dir: str | None = None,
     ):
+        if subgraph_cache_dir is not None:
+            import os
+
+            from repro.core.compile_cache import CACHE_DIR_ENV, get_process_cache
+
+            # Set the env var first so pool workers spawned later inherit the
+            # persistent tier (it intentionally outlives close(): the lazily
+            # created pool may spawn workers at any point).  Passing disk_dir
+            # explicitly attaches the tier even when earlier compiles in this
+            # process already created the shared cache memory-only.
+            os.environ[CACHE_DIR_ENV] = str(subgraph_cache_dir)
+            get_process_cache(disk_dir=str(subgraph_cache_dir))
         self.runner = BatchRunner(max_workers=max_workers, cache_dir=cache_dir)
         self.batcher = MicroBatcher(
             self.runner, window_seconds=batch_window_seconds, max_batch=max_batch
@@ -228,14 +247,21 @@ class CompileService:
         return batch.payload() if batch is not None else None
 
     def healthz(self) -> dict:
-        """Liveness body: uptime, request, batching and cache counters."""
+        """Liveness body: uptime, request, batching and cache counters.
+
+        ``subgraph_cache`` reports *this process's* tier of the
+        isomorphism-keyed compile cache; with ``max_workers > 1`` the pool
+        workers keep their own tiers (sharing only the disk directory).
+        """
         import repro
+        from repro.core.compile_cache import peek_process_cache
 
         cache = self.runner.cache
+        subgraph_cache = peek_process_cache()
         with self._lock:
             requests_served = self._requests_served
             num_batches = len(self._batches)
-        return {
+        body = {
             "status": "ok",
             "version": repro.__version__,
             "uptime_seconds": time.time() - self.started_at,
@@ -248,7 +274,16 @@ class CompileService:
                 "misses": cache.misses if cache is not None else 0,
                 "entries": len(cache) if cache is not None else 0,
             },
+            "subgraph_cache": {"enabled": subgraph_cache is not None},
         }
+        if subgraph_cache is not None:
+            body["subgraph_cache"].update(
+                entries=len(subgraph_cache),
+                capacity=subgraph_cache.capacity,
+                disk=subgraph_cache.disk_enabled,
+                **subgraph_cache.stats.as_dict(),
+            )
+        return body
 
     def close(self) -> None:
         """Shut the micro-batcher and the batch worker down (idempotent)."""
@@ -438,6 +473,7 @@ def start_server(
     batch_window_seconds: float = 0.02,
     max_batch: int = 32,
     verbose: bool = False,
+    subgraph_cache_dir: str | None = None,
 ) -> tuple[CompileServer, threading.Thread]:
     """Build a service and serve it on a daemon thread (for tests/loadgen).
 
@@ -447,7 +483,7 @@ def start_server(
         Bind address; port ``0`` picks a free port.
     cache_dir : str | None
         Persistent result-cache directory (``None`` disables caching).
-    max_workers, batch_window_seconds, max_batch
+    max_workers, batch_window_seconds, max_batch, subgraph_cache_dir
         Forwarded to :class:`CompileService`.
     verbose : bool
         Log requests to stderr.
@@ -463,6 +499,7 @@ def start_server(
         max_workers=max_workers,
         batch_window_seconds=batch_window_seconds,
         max_batch=max_batch,
+        subgraph_cache_dir=subgraph_cache_dir,
     )
     server = CompileServer((host, port), service, verbose=verbose)
     thread = threading.Thread(

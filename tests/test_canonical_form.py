@@ -1,0 +1,122 @@
+"""Tests for the small-graph canonical labeling (repro.graphs.canonical_form)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.canonical_form import (
+    CanonicalizationBudgetError,
+    canonical_form,
+    canonical_key_digest,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    lattice_graph,
+    linear_cluster,
+    ring_graph,
+    star_graph,
+)
+from repro.graphs.graph_state import GraphState
+
+graph_inputs = st.tuples(
+    st.integers(min_value=1, max_value=9),  # number of vertices
+    st.floats(min_value=0.0, max_value=1.0),  # edge probability
+    st.integers(min_value=0, max_value=10_000),  # graph seed
+    st.randoms(use_true_random=False),  # relabeling permutation source
+)
+
+
+def build_graph(n: int, p: float, seed: int) -> GraphState:
+    return GraphState.from_networkx(nx.gnp_random_graph(n, p, seed=seed))
+
+
+def relabeled(graph: GraphState, rng) -> GraphState:
+    """A copy of ``graph`` with shuffled labels *and* insertion order."""
+    vertices = graph.vertices()
+    labels = [f"v{i}" for i in range(len(vertices))]
+    rng.shuffle(labels)
+    mapping = dict(zip(vertices, labels))
+    new_order = list(mapping.values())
+    rng.shuffle(new_order)
+    copy = GraphState(vertices=new_order)
+    for u, v in graph.edges():
+        copy.add_edge(mapping[u], mapping[v])
+    return copy
+
+
+class TestInvariance:
+    @given(graph_inputs)
+    @settings(max_examples=150, deadline=None)
+    def test_isomorphic_relabelings_share_one_key(self, params):
+        n, p, seed, rng = params
+        graph = build_graph(n, p, seed)
+        other = relabeled(graph, rng)
+        assert canonical_form(graph).key == canonical_form(other).key
+
+    @given(graph_inputs)
+    @settings(max_examples=150, deadline=None)
+    def test_permutation_is_a_bijection_onto_the_canonical_graph(self, params):
+        n, p, seed, rng = params
+        graph = relabeled(build_graph(n, p, seed), rng)
+        form = canonical_form(graph)
+        assert sorted(form.to_canonical.values()) == list(range(n))
+        assert set(form.from_canonical) == set(graph.vertices())
+        for index, vertex in enumerate(form.from_canonical):
+            assert form.to_canonical[vertex] == index
+        canonical = form.build_graph()
+        assert canonical.num_edges == graph.num_edges
+        for u, v in graph.edges():
+            assert canonical.has_edge(form.to_canonical[u], form.to_canonical[v])
+
+    def test_structured_families_are_invariant(self):
+        import random
+
+        rng = random.Random(7)
+        for graph in (
+            ring_graph(8),
+            complete_graph(7),
+            star_graph(9),
+            lattice_graph(2, 4),
+            linear_cluster(6),
+        ):
+            key = canonical_form(graph).key
+            for _ in range(5):
+                assert canonical_form(relabeled(graph, rng)).key == key
+
+
+class TestDiscrimination:
+    def test_non_isomorphic_graphs_get_distinct_keys(self):
+        path = GraphState(vertices=[0, 1, 2], edges=[(0, 1), (1, 2)])
+        triangle = GraphState(vertices=[0, 1, 2], edges=[(0, 1), (1, 2), (0, 2)])
+        assert canonical_form(path).key != canonical_form(triangle).key
+
+    def test_degree_sequence_is_not_enough(self):
+        # C6 and two disjoint triangles: both 2-regular on 6 vertices.
+        c6 = ring_graph(6)
+        triangles = GraphState(
+            vertices=range(6),
+            edges=[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        )
+        assert canonical_form(c6).key != canonical_form(triangles).key
+
+
+class TestEdgesAndErrors:
+    def test_empty_and_singleton_graphs(self):
+        assert canonical_form(GraphState()).key == (0, 0)
+        form = canonical_form(GraphState(vertices=["a"]))
+        assert form.key == (1, 0)
+        assert form.to_canonical == {"a": 0}
+
+    def test_budget_error_is_raised_when_exhausted(self):
+        with pytest.raises(CanonicalizationBudgetError):
+            canonical_form(ring_graph(5), max_leaves=0)
+
+    def test_key_digest_is_stable_and_hex(self):
+        key = canonical_form(ring_graph(6)).key
+        digest = canonical_key_digest(key)
+        assert digest == canonical_key_digest(key)
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex

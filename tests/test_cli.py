@@ -44,6 +44,18 @@ class TestParser:
         assert args.self_serve is True
         assert args.min_cache_hit_rate == pytest.approx(0.9)
 
+    def test_subgraph_cache_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--subgraph-cache-dir", ".sg-cache"]
+        )
+        assert args.subgraph_cache_dir == ".sg-cache"
+        assert build_parser().parse_args(["serve"]).subgraph_cache_dir is None
+
+        args = build_parser().parse_args(["bench", "--cache-sizes", "16", "32"])
+        assert args.cache_sizes == [16, 32]
+        assert build_parser().parse_args(["bench"]).cache_sizes is None
+        assert build_parser().parse_args(["bench", "--cache-sizes"]).cache_sizes == []
+
     def test_compile_defaults(self):
         args = build_parser().parse_args(["compile"])
         assert args.family == "lattice"
