@@ -1,0 +1,77 @@
+"""Fleet scale-out benchmark: 3 workers vs 1 on the same workload.
+
+Starts two fleets back to back — one single-worker, one with
+``REPRO_BENCH_FLEET_WORKERS`` workers — and drives both with the same
+closed-loop compile workload.  The workload is deliberately cache-hostile
+(no shared result-cache directory, one distinct payload per seed) so the
+measured quantity is compile throughput, not cache bandwidth; the multi-
+worker run should then scale with the number of worker processes.
+
+The acceptance gate is ``hot.throughput >= MIN_SPEEDUP * baseline``:
+CI's ``fleet-smoke`` job runs this on a multi-core runner with the default
+``MIN_SPEEDUP = 2.2`` (3 workers); on constrained machines set
+``REPRO_BENCH_FLEET_MIN_SPEEDUP`` lower — a single-core box caps the real
+speedup at ~1x regardless of the fleet size.
+
+Environment knobs (CI sets small values):
+
+* ``REPRO_BENCH_FLEET_WORKERS`` — fleet size for the scaled run (default 3);
+* ``REPRO_BENCH_FLEET_REQUESTS`` — total requests per run (default 24);
+* ``REPRO_BENCH_FLEET_CONCURRENCY`` — closed-loop threads (default 6);
+* ``REPRO_BENCH_FLEET_SIZE`` — lattice size per payload (default 12);
+* ``REPRO_BENCH_FLEET_MIN_SPEEDUP`` — the gate (default 2.2).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.service.fleet import start_fleet
+from repro.service.loadgen import run_loadgen
+
+FLEET_WORKERS = int(os.environ.get("REPRO_BENCH_FLEET_WORKERS", "3"))
+REQUESTS = int(os.environ.get("REPRO_BENCH_FLEET_REQUESTS", "24"))
+CONCURRENCY = int(os.environ.get("REPRO_BENCH_FLEET_CONCURRENCY", "6"))
+SIZE = int(os.environ.get("REPRO_BENCH_FLEET_SIZE", "12"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_FLEET_MIN_SPEEDUP", "2.2"))
+
+
+def _drive(num_workers: int) -> "object":
+    """One fleet run over the shared cache-hostile workload."""
+    server, supervisor, _ = start_fleet(num_workers)
+    host, port = server.server_address[:2]
+    payloads = [
+        {"family": "lattice", "size": SIZE, "seed": seed, "kind": "compile"}
+        for seed in range(1, 13)
+    ]
+    try:
+        return run_loadgen(
+            f"http://{host}:{port}",
+            payloads,
+            requests=REQUESTS,
+            concurrency=CONCURRENCY,
+            retries=1,
+        )
+    finally:
+        supervisor.stop()
+        server.shutdown()
+        server.server_close()
+
+
+def test_fleet_throughput_scales_with_workers(capsys):
+    baseline = _drive(1)
+    scaled = _drive(FLEET_WORKERS)
+
+    speedup = scaled.throughput_rps / max(baseline.throughput_rps, 1e-9)
+    with capsys.disabled():
+        print()
+        print(f"== fleet scaling ({REQUESTS} requests, size-{SIZE} lattices) ==")
+        print(f"-- 1 worker --\n{baseline.to_text()}")
+        print(f"-- {FLEET_WORKERS} workers --\n{scaled.to_text()}")
+        print(f"speedup: {speedup:.2f}x (gate: >= {MIN_SPEEDUP}x)")
+
+    assert baseline.ok and scaled.ok
+    assert speedup >= MIN_SPEEDUP, (
+        f"{FLEET_WORKERS}-worker fleet reached only {speedup:.2f}x the "
+        f"single-worker throughput (gate: {MIN_SPEEDUP}x)"
+    )

@@ -132,7 +132,7 @@ from repro.utils.backend import (
     use_backend,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",

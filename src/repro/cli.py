@@ -9,9 +9,12 @@ Six subcommands cover the common workflows:
 * ``repro batch`` — run a whole sweep of compilation jobs through the batch
   pipeline, optionally across processes and with content-hash result caching;
 * ``repro serve`` — run the long-running compilation server (HTTP + JSON,
-  micro-batching, persistent result cache);
+  micro-batching, persistent result cache); ``--workers N > 1`` runs the
+  supervised multi-process fleet (content-hash routing, heartbeat restarts,
+  ``GET /metrics``, journaled requests, SIGTERM graceful drain);
 * ``repro loadgen`` — drive a server closed-loop and report throughput,
-  latency percentiles and the cache-hit rate;
+  latency percentiles and the cache-hit rate; ``--kill-worker-after K``
+  SIGKILLs one fleet worker mid-load (the fault-injection CI gate);
 * ``repro bench`` — run the emitter perf-trajectory benchmark
   (naive-vs-incremental height function, dense-vs-packed end-to-end compile,
   cold-vs-warm subgraph compile cache) and write ``BENCH_emitters.json``.
@@ -29,8 +32,11 @@ Examples::
     repro batch --families ghz surface --sizes 9 --ordering greedy
     repro serve --port 8765 --cache-dir .repro-service-cache
     repro serve --port 8765 --subgraph-cache-dir .repro-subgraph-cache
+    repro serve --port 8765 --workers 3 --journal .repro-fleet-journal.jsonl
     repro loadgen --url http://127.0.0.1:8765 --families lattice --sizes 10 14
+    repro loadgen --url http://127.0.0.1:8765 --requests 36 --kill-worker-after 6
     repro loadgen --self-serve --cache-dir .repro-service-cache --requests 40
+    repro loadgen --self-serve --self-serve-workers 3 --requests 36
     repro bench --sizes 64 128 256 --compile-sizes 32 64 128 --output BENCH_emitters.json
     repro bench --cache-sizes 128 256 --output BENCH_emitters.json
 
@@ -246,7 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser = subparsers.add_parser(
         "serve",
         help="run the compilation server (POST /compile and /batch, "
-        "GET /status/<job> and /healthz; JSON bodies)",
+        "GET /status/<job> and /healthz; JSON bodies); --workers N > 1 runs "
+        "the supervised multi-process fleet with GET /metrics and SIGTERM "
+        "graceful drain",
     )
     serve_parser.add_argument(
         "--host", default="127.0.0.1", help="address to bind (default: loopback)"
@@ -258,13 +266,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="persistent result-cache directory; repeated requests are served "
-        "from disk (omit to recompute everything)",
+        "from disk (omit to recompute everything); shared by every fleet worker",
     )
     serve_parser.add_argument(
         "--workers",
         type=int,
         default=1,
-        help="process-pool width used per micro-batch; 1 compiles in-process",
+        help="number of compile-worker processes; 1 serves in-process, N > 1 "
+        "spawns a supervised fleet (content-hash routing, heartbeat "
+        "restarts, /metrics, journaled requests, SIGTERM drain)",
+    )
+    serve_parser.add_argument(
+        "--pool-workers",
+        type=int,
+        default=1,
+        help="process-pool width inside each worker's micro-batch; "
+        "1 compiles in-process",
+    )
+    serve_parser.add_argument(
+        "--journal",
+        default=".repro-fleet-journal.jsonl",
+        help="pending-queue journal file of the fleet front end (accepted "
+        "requests are replayed after a crash); fleet mode only",
+    )
+    serve_parser.add_argument(
+        "--heartbeat-seconds",
+        type=float,
+        default=0.5,
+        help="fleet supervision period (heartbeats, restart scheduling)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=60.0,
+        help="maximum seconds a SIGTERM graceful drain waits for in-flight "
+        "requests before exiting anyway",
     )
     serve_parser.add_argument(
         "--batch-window-ms",
@@ -306,6 +342,13 @@ def build_parser() -> argparse.ArgumentParser:
         "the run (useful for smoke tests and CI)",
     )
     loadgen_parser.add_argument(
+        "--self-serve-workers",
+        type=int,
+        default=1,
+        help="with --self-serve: number of compile workers; N > 1 "
+        "self-serves a supervised fleet instead of a single server",
+    )
+    loadgen_parser.add_argument(
         "--cache-dir",
         default=None,
         help="result-cache directory of the self-served instance "
@@ -338,6 +381,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen_parser.add_argument(
         "--timeout", type=float, default=120.0, help="per-request timeout in seconds"
+    )
+    loadgen_parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries per request after a connection failure or HTTP 503 "
+        "(compiles are content-hash idempotent, so re-POSTing is safe)",
+    )
+    loadgen_parser.add_argument(
+        "--kill-worker-after",
+        type=int,
+        default=None,
+        help="fault injection: SIGKILL one compile worker of the target "
+        "fleet after this many completed requests (requires a fleet front "
+        "end; the run must still finish with zero errors)",
     )
     loadgen_parser.add_argument(
         "--min-cache-hit-rate",
@@ -511,11 +569,20 @@ def _run_batch(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    if args.workers > 1:
+        return _run_serve_fleet(args)
+    return _run_serve_single(args)
+
+
+def _run_serve_single(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro.service.server import CompileServer, CompileService
 
     service = CompileService(
         cache_dir=args.cache_dir,
-        max_workers=args.workers,
+        max_workers=args.pool_workers,
         batch_window_seconds=args.batch_window_ms / 1000.0,
         max_batch=args.max_batch,
         subgraph_cache_dir=args.subgraph_cache_dir,
@@ -525,12 +592,62 @@ def _run_serve(args: argparse.Namespace) -> int:
     cache_note = args.cache_dir if args.cache_dir else "disabled"
     print(f"repro serve: listening on http://{host}:{port} (cache: {cache_note})")
     print("endpoints: POST /compile, POST /batch, GET /status/<job>, GET /healthz")
+
+    def _drain_handler(signum, frame):  # noqa: ARG001 - signal API
+        # Drain on a helper thread: shutdown() would deadlock the serving
+        # loop this handler interrupts.
+        threading.Thread(
+            target=server.drain,
+            kwargs={"timeout": args.drain_timeout},
+            daemon=True,
+        ).start()
+
+    signal.signal(signal.SIGTERM, _drain_handler)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
     finally:
         server.shutdown()
+        server.server_close()
+    return EXIT_OK
+
+
+def _run_serve_fleet(args: argparse.Namespace) -> int:
+    from repro.service.fleet import (
+        FleetServer,
+        FleetSupervisor,
+        install_sigterm_drain,
+    )
+
+    supervisor = FleetSupervisor(
+        args.workers,
+        host=args.host,
+        cache_dir=args.cache_dir,
+        subgraph_cache_dir=args.subgraph_cache_dir,
+        journal_path=args.journal or None,
+        pool_workers=args.pool_workers,
+        batch_window_ms=args.batch_window_ms,
+        heartbeat_seconds=args.heartbeat_seconds,
+    )
+    supervisor.start()
+    server = FleetServer((args.host, args.port), supervisor, verbose=args.verbose)
+    install_sigterm_drain(server, timeout=args.drain_timeout)
+    host, port = server.server_address[:2]
+    cache_note = args.cache_dir if args.cache_dir else "disabled"
+    journal_note = args.journal if args.journal else "disabled"
+    print(
+        f"repro serve: fleet of {args.workers} workers behind "
+        f"http://{host}:{port} (cache: {cache_note}, journal: {journal_note})"
+    )
+    print(
+        "endpoints: POST /compile, POST /batch, GET /status/<job>, "
+        "GET /healthz, GET /metrics"
+    )
+    try:
+        server.serve_forever()
+    finally:
+        supervisor.stop()
         server.server_close()
     return EXIT_OK
 
@@ -547,9 +664,17 @@ def _run_loadgen(args: argparse.Namespace) -> int:
         args.families, args.sizes, seeds=args.seeds, kind=args.kind
     )
     server = None
+    supervisor = None
     try:
         if args.self_serve:
-            server, _ = start_server(cache_dir=args.cache_dir)
+            if args.self_serve_workers > 1:
+                from repro.service.fleet import start_fleet
+
+                server, supervisor, _ = start_fleet(
+                    args.self_serve_workers, cache_dir=args.cache_dir
+                )
+            else:
+                server, _ = start_server(cache_dir=args.cache_dir)
             host, port = server.server_address[:2]
             url = f"http://{host}:{port}"
             print(f"loadgen: self-serving on {url}")
@@ -557,15 +682,21 @@ def _run_loadgen(args: argparse.Namespace) -> int:
             url = args.url
         # A freshly backgrounded `repro serve` may still be binding; wait for
         # /healthz instead of burning every request on connection-refused.
-        ServiceClient(url, timeout=args.timeout).wait_until_ready(timeout=10.0)
+        ServiceClient(url, timeout=args.timeout).wait_until_ready(
+            timeout=max(10.0, args.timeout)
+        )
         report = run_loadgen(
             url,
             payloads,
             requests=args.requests,
             concurrency=args.concurrency,
             timeout=args.timeout,
+            retries=args.retries,
+            kill_worker_after=args.kill_worker_after,
         )
     finally:
+        if supervisor is not None:
+            supervisor.stop()
         if server is not None:
             server.shutdown()
             server.server_close()

@@ -24,8 +24,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import threading
 import time
 from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
 
 from repro.graphs.generators import (
     benchmark_graph,
@@ -48,7 +51,14 @@ from repro.graphs.graph_state import GraphState
 from repro.hardware.models import get_hardware_model
 from repro.utils.backend import BACKENDS
 
-__all__ = ["GraphSpec", "BatchJob", "JOB_KINDS", "run_job"]
+__all__ = [
+    "GraphSpec",
+    "BatchJob",
+    "JOB_KINDS",
+    "run_job",
+    "JournalEntry",
+    "PendingJournal",
+]
 
 #: Graph families a :class:`GraphSpec` can rebuild.
 GRAPH_FAMILIES = (
@@ -424,3 +434,196 @@ def run_job(job: BatchJob) -> dict:
     )
     record["seconds_partition"] = elapsed
     return record
+
+
+# --------------------------------------------------------------------------- #
+# Pending-queue journal
+# --------------------------------------------------------------------------- #
+
+#: Bump when the journal line format changes incompatibly.
+JOURNAL_SCHEMA_VERSION = 1
+
+
+@dataclass
+class JournalEntry:
+    """One accepted-but-unfinished request recovered from a journal.
+
+    Parameters
+    ----------
+    request_id : str
+        The front end's request id (also the JSON-log correlation id).
+    payload : dict
+        The raw job payload, replayable through
+        :meth:`BatchJob.from_dict`.
+    content_hash : str
+        The job's content hash at accept time (routing/cache key).
+    attempts : int, optional
+        Dispatch attempts recorded before the crash.
+    """
+
+    request_id: str
+    payload: dict
+    content_hash: str
+    attempts: int = 0
+
+
+class PendingJournal:
+    """Append-only JSONL journal of accepted compile requests.
+
+    The fleet front end (:mod:`repro.service.fleet`) writes one ``pending``
+    line when it accepts a request and one ``done``/``failed`` line when the
+    request finishes, flushing after every line.  If the process is killed
+    mid-batch, :meth:`load_unfinished` recovers every request that was
+    accepted but never completed, and the next fleet start replays them into
+    the shared result cache so no accepted work is lost.
+
+    Lines are self-describing JSON objects::
+
+        {"op": "pending", "request_id": ..., "payload": {...},
+         "content_hash": ..., "schema_version": 1}
+        {"op": "attempt", "request_id": ..., "worker": 2}
+        {"op": "done", "request_id": ...}
+        {"op": "failed", "request_id": ..., "error": "..."}
+
+    A torn final line (the writer died mid-``write``) is tolerated and
+    ignored on load.  ``failed`` marks *terminal* client-side errors
+    (malformed payloads) that must not be replayed.
+
+    Parameters
+    ----------
+    path : str | Path
+        Journal file location; parent directories are created on demand.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = None
+
+    # ------------------------------------------------------------------ #
+
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def record_pending(
+        self, request_id: str, payload: dict, content_hash: str
+    ) -> None:
+        """Journal the acceptance of one request (before dispatch)."""
+        self._append(
+            {
+                "op": "pending",
+                "request_id": request_id,
+                "payload": payload,
+                "content_hash": content_hash,
+                "schema_version": JOURNAL_SCHEMA_VERSION,
+            }
+        )
+
+    def record_attempt(self, request_id: str, worker: int) -> None:
+        """Journal one dispatch attempt (so replay knows the attempt count)."""
+        self._append({"op": "attempt", "request_id": request_id, "worker": worker})
+
+    def record_done(self, request_id: str) -> None:
+        """Journal the successful completion of a request."""
+        self._append({"op": "done", "request_id": request_id})
+
+    def record_failed(self, request_id: str, error: str) -> None:
+        """Journal a *terminal* failure (bad payload — never replayed)."""
+        self._append({"op": "failed", "request_id": request_id, "error": error})
+
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def load_unfinished(path: str | Path) -> list[JournalEntry]:
+        """Replay a journal file and return the entries still unfinished.
+
+        Parameters
+        ----------
+        path : str | Path
+            Journal file; a missing file yields an empty list.
+
+        Returns
+        -------
+        list[JournalEntry]
+            Accepted requests with neither a ``done`` nor a ``failed`` line,
+            in acceptance order.
+        """
+        path = Path(path)
+        if not path.exists():
+            return []
+        pending: dict[str, JournalEntry] = {}
+        with path.open("r", encoding="utf-8") as handle:
+            for raw in handle:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    record = json.loads(raw)
+                except ValueError:
+                    # Torn tail line from a killed writer; everything before
+                    # it was flushed line-by-line, so just stop here.
+                    break
+                op = record.get("op")
+                request_id = record.get("request_id")
+                if not request_id:
+                    continue
+                if op == "pending":
+                    pending[request_id] = JournalEntry(
+                        request_id=request_id,
+                        payload=record.get("payload") or {},
+                        content_hash=str(record.get("content_hash", "")),
+                    )
+                elif op == "attempt" and request_id in pending:
+                    pending[request_id].attempts += 1
+                elif op in ("done", "failed"):
+                    pending.pop(request_id, None)
+        return list(pending.values())
+
+    def compact(self) -> int:
+        """Rewrite the journal keeping only unfinished entries.
+
+        Returns
+        -------
+        int
+            Number of unfinished entries kept.
+        """
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            unfinished = PendingJournal.load_unfinished(self.path)
+            temp = self.path.with_suffix(self.path.suffix + ".compact")
+            with temp.open("w", encoding="utf-8") as handle:
+                for entry in unfinished:
+                    handle.write(
+                        json.dumps(
+                            {
+                                "op": "pending",
+                                "request_id": entry.request_id,
+                                "payload": entry.payload,
+                                "content_hash": entry.content_hash,
+                                "schema_version": JOURNAL_SCHEMA_VERSION,
+                            },
+                            sort_keys=True,
+                            default=str,
+                        )
+                        + "\n"
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp, self.path)
+        return len(unfinished)

@@ -13,7 +13,14 @@ long-running server for interactive and high-volume traffic:
 * :mod:`repro.service.client` — :class:`ServiceClient`, a dependency-free
   ``urllib`` client used by tests and the load generator;
 * :mod:`repro.service.loadgen` — the closed-loop load generator behind
-  ``repro loadgen`` (throughput, p50/p95/p99 latency, cache-hit rate).
+  ``repro loadgen`` (throughput, p50/p95/p99 latency, cache-hit rate), with
+  ``kill_worker_after`` fault injection against a fleet;
+* :mod:`repro.service.fleet` — the supervised multi-process compile fleet
+  behind ``repro serve --workers N``: content-hash (rendezvous) routing,
+  heartbeat health checks with exponential-backoff restarts, a persistent
+  pending-queue journal with crash replay, and SIGTERM graceful drain;
+* :mod:`repro.service.metrics` — the Prometheus ``/metrics`` instruments,
+  the exposition validator CI scrapes against, and structured JSON logs.
 
 Everything is stdlib-only on top of the package's existing dependencies; the
 CLI entry points are ``repro serve`` and ``repro loadgen``.
@@ -21,6 +28,19 @@ CLI entry points are ``repro serve`` and ``repro loadgen``.
 
 from repro.service.batcher import BatcherStats, MicroBatcher
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.fleet import (
+    FleetServer,
+    FleetSupervisor,
+    WorkerProcess,
+    rendezvous_order,
+    start_fleet,
+)
+from repro.service.metrics import (
+    FLEET_METRICS,
+    MetricsRegistry,
+    log_event,
+    validate_exposition,
+)
 from repro.service.loadgen import LoadReport, percentile, run_loadgen, workload_payloads
 from repro.service.server import (
     CompileServer,
@@ -33,6 +53,15 @@ from repro.service.server import (
 __all__ = [
     "BatcherStats",
     "MicroBatcher",
+    "FleetServer",
+    "FleetSupervisor",
+    "WorkerProcess",
+    "rendezvous_order",
+    "start_fleet",
+    "FLEET_METRICS",
+    "MetricsRegistry",
+    "log_event",
+    "validate_exposition",
     "ServiceClient",
     "ServiceError",
     "LoadReport",

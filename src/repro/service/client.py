@@ -20,7 +20,7 @@ import time
 import urllib.error
 import urllib.request
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = ["ServiceClient", "ServiceError", "RETRYABLE_STATUSES"]
 
 
 class ServiceError(RuntimeError):
@@ -40,6 +40,13 @@ class ServiceError(RuntimeError):
         self.body = body or {}
 
 
+#: HTTP statuses worth one more try: 0 is a connection failure or socket
+#: timeout (the server may be mid-restart), 503 is the fleet front end
+#: briefly out of healthy workers (or draining — in which case the retry
+#: fails the same way and the error propagates).
+RETRYABLE_STATUSES = (0, 503)
+
+
 class ServiceClient:
     """Typed access to the service endpoints.
 
@@ -48,17 +55,34 @@ class ServiceClient:
     base_url : str
         Server root, e.g. ``"http://127.0.0.1:8765"``.
     timeout : float, optional
-        Per-request socket timeout in seconds.
+        Per-request socket timeout in seconds (connect *and* read): a hung
+        or killed worker fails the request after ``timeout`` instead of
+        stalling the caller forever.
+    retries : int, optional
+        Extra attempts after a retryable failure (connection refused/reset,
+        socket timeout, HTTP 503).  ``/compile`` requests are content-hash
+        idempotent, so re-POSTing after an ambiguous failure is safe.
+    retry_backoff_seconds : float, optional
+        Sleep before each retry (gives a crashed worker's supervisor a
+        beat to re-route or restart).
     """
 
-    def __init__(self, base_url: str, timeout: float = 120.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 120.0,
+        retries: int = 0,
+        retry_backoff_seconds: float = 0.25,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.retry_backoff_seconds = float(retry_backoff_seconds)
 
     # ------------------------------------------------------------------ #
 
     def request(self, method: str, path: str, payload: dict | None = None) -> dict:
-        """Issue one JSON request and return the parsed response body.
+        """Issue one JSON request (with retries) and return the parsed body.
 
         Parameters
         ----------
@@ -77,8 +101,21 @@ class ServiceClient:
         Raises
         ------
         ServiceError
-            On any non-2xx response or connection failure.
+            On any non-2xx response or connection failure, after
+            :attr:`retries` extra attempts for retryable failures.
         """
+        attempts = self.retries + 1
+        for attempt in range(attempts):
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceError as exc:
+                last_try = attempt == attempts - 1
+                if last_try or exc.status not in RETRYABLE_STATUSES:
+                    raise
+                time.sleep(self.retry_backoff_seconds)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(self, method: str, path: str, payload: dict | None) -> dict:
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:

@@ -1,0 +1,1046 @@
+"""A supervised multi-process compile fleet with an ops surface.
+
+``repro serve --workers N`` (N > 1) runs this module instead of a single
+:class:`repro.service.server.CompileServer`:
+
+* a :class:`FleetSupervisor` spawns N compile-worker subprocesses — each an
+  ordinary ``repro serve`` single instance on its own port, sharing the
+  disk result cache and the persistent subgraph-cache tier — and keeps them
+  alive with heartbeat health checks and exponential-backoff restarts;
+* a :class:`FleetServer` front end routes ``POST /compile`` by job content
+  hash (rendezvous hashing, so identical jobs always land on the same
+  worker's warm caches), re-dispatches to the next-ranked worker when one
+  dies mid-request, and exposes the ops surface: ``GET /metrics``
+  (Prometheus text format), ``GET /healthz`` (fleet roll-up incl. worker
+  pids/states), structured JSON logs with request ids;
+* every accepted ``/compile`` request is journaled to a persistent
+  pending-queue (:class:`repro.pipeline.jobs.PendingJournal`) before
+  dispatch and marked done after, so a crash mid-batch loses no accepted
+  work — the next fleet start replays unfinished entries into the shared
+  result cache;
+* ``SIGTERM`` triggers a graceful drain: stop accepting, flush in-flight
+  requests, stop the workers, exit 0.
+
+Async ``POST /batch`` submissions are forwarded to one hash-routed worker
+and polled through the front end (``job_id`` is prefixed with the worker
+index); they are intentionally *not* journaled — ``/compile`` is the
+durable path.
+
+The supervision design follows the proactor idiom (message-driven
+supervision, per-link retry state machines with exponential backoff,
+persistent event queue) rather than an in-process thread pool: workers are
+OS processes, so one crashing compile cannot take the fleet down, and the
+kernel's process lifecycle is the source of truth for liveness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import uuid
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Sequence
+
+from repro.pipeline.jobs import BatchJob, JournalEntry, PendingJournal
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.metrics import FLEET_METRICS, MetricsRegistry, log_event
+
+__all__ = [
+    "WorkerProcess",
+    "FleetSupervisor",
+    "FleetServer",
+    "FleetDrainingError",
+    "NoHealthyWorkerError",
+    "rendezvous_order",
+    "free_port",
+    "start_fleet",
+    "install_sigterm_drain",
+]
+
+#: Worker lifecycle states (a small link-state machine per worker).
+STARTING = "starting"
+HEALTHY = "healthy"
+UNHEALTHY = "unhealthy"
+RESTARTING = "restarting"
+STOPPED = "stopped"
+
+
+class FleetDrainingError(RuntimeError):
+    """The front end is draining and accepts no new work (HTTP 503)."""
+
+
+class NoHealthyWorkerError(RuntimeError):
+    """Every dispatch attempt failed; no healthy worker answered (HTTP 503)."""
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """Ask the kernel for a currently free TCP port on ``host``."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+def rendezvous_order(content_hash: str, indices: Sequence[int]) -> list[int]:
+    """Rank worker indices for a job by highest-random-weight hashing.
+
+    The rank depends only on ``(content_hash, index)`` pairs, so
+
+    * identical jobs always prefer the same worker (warm LRU placement),
+    * the ranking is stable across worker restarts (worker identity is its
+      index, not its pid or port), and
+    * removing a worker only moves the jobs that preferred it — every other
+      job keeps its placement (the consistent-hashing property).
+
+    Parameters
+    ----------
+    content_hash : str
+        The job's content hash (:attr:`repro.pipeline.jobs.BatchJob.content_hash`).
+    indices : Sequence[int]
+        Candidate worker indices.
+
+    Returns
+    -------
+    list[int]
+        ``indices`` sorted most-preferred first.
+    """
+    def score(index: int) -> bytes:
+        return hashlib.sha256(f"{content_hash}|{index}".encode("utf-8")).digest()
+
+    return sorted(indices, key=score, reverse=True)
+
+
+def _worker_env() -> dict[str, str]:
+    """Subprocess environment with this package importable on PYTHONPATH."""
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = os.environ.copy()
+    existing = env.get("PYTHONPATH", "")
+    if src_dir not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
+    return env
+
+
+class WorkerProcess:
+    """One supervised compile-worker subprocess and its link state.
+
+    Parameters
+    ----------
+    index : int
+        Stable worker identity (the routing key component).
+    host : str
+        Address the worker binds.
+    port : int
+        Port the worker binds (kept stable across restarts).
+    command : list[str]
+        Full ``argv`` to spawn the worker with.
+    request_timeout : float, optional
+        Socket timeout for forwarded compile requests.
+    heartbeat_timeout : float, optional
+        Socket timeout for health checks (short, so a hung worker is
+        detected quickly).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        host: str,
+        port: int,
+        command: list[str],
+        request_timeout: float = 120.0,
+        heartbeat_timeout: float = 2.0,
+    ):
+        self.index = index
+        self.host = host
+        self.port = port
+        self.command = list(command)
+        self.process: subprocess.Popen | None = None
+        self.state = STOPPED
+        self.restarts = 0
+        self.consecutive_failures = 0
+        self.missed_heartbeats = 0
+        self.next_restart_at = 0.0
+        self.spawned_at = 0.0
+        self.last_healthz: dict = {}
+        base_url = f"http://{host}:{port}"
+        self.client = ServiceClient(base_url, timeout=request_timeout)
+        self.heartbeat_client = ServiceClient(base_url, timeout=heartbeat_timeout)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pid(self) -> int | None:
+        """The worker's OS pid, or ``None`` when not running."""
+        return self.process.pid if self.process is not None else None
+
+    def alive(self) -> bool:
+        """True while the subprocess exists and has not exited."""
+        return self.process is not None and self.process.poll() is None
+
+    def spawn(self) -> None:
+        """Start (or restart) the subprocess and mark the link ``starting``."""
+        self.process = subprocess.Popen(self.command, env=_worker_env())
+        self.spawned_at = time.monotonic()
+        self.missed_heartbeats = 0
+        self.state = STARTING
+
+    def terminate(self, grace_seconds: float = 10.0) -> None:
+        """SIGTERM the worker (graceful drain), escalating to SIGKILL."""
+        if self.process is None:
+            self.state = STOPPED
+            return
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=grace_seconds)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=5.0)
+        self.state = STOPPED
+
+    def snapshot(self) -> dict:
+        """JSON description for the fleet ``/healthz`` roll-up."""
+        return {
+            "index": self.index,
+            "port": self.port,
+            "pid": self.pid,
+            "state": self.state,
+            "restarts": self.restarts,
+            "requests_served": self.last_healthz.get("requests_served", 0),
+        }
+
+
+class FleetSupervisor:
+    """Spawn, watch, restart and route to a fleet of compile workers.
+
+    Parameters
+    ----------
+    num_workers : int
+        Number of worker subprocesses.
+    host : str, optional
+        Address workers (and heartbeats) bind/connect on.
+    cache_dir : str | None, optional
+        Shared persistent result-cache directory (safe across processes:
+        entries are content-addressed and written atomically).
+    subgraph_cache_dir : str | None, optional
+        Shared disk tier of the subgraph compile cache.
+    journal_path : str | None, optional
+        Pending-queue journal file; ``None`` disables journaling (and
+        replay).
+    pool_workers : int, optional
+        Per-worker process-pool width (``repro serve --pool-workers``).
+    batch_window_ms : float, optional
+        Micro-batching window forwarded to every worker.
+    heartbeat_seconds : float, optional
+        Supervision loop period.
+    heartbeat_misses : int, optional
+        Consecutive failed heartbeats before a live-but-unresponsive worker
+        is killed and restarted.
+    restart_backoff_seconds : float, optional
+        First restart delay; doubles per consecutive failure.
+    restart_backoff_cap_seconds : float, optional
+        Upper bound on the restart delay.
+    worker_start_timeout : float, optional
+        How long a spawned worker may take to answer ``/healthz`` before it
+        is considered failed.
+    request_timeout : float, optional
+        Socket timeout for forwarded compile requests.
+    dispatch_attempts : int, optional
+        Dispatch attempts per request before giving up (each attempt picks
+        the best healthy worker by rendezvous rank).
+    dispatch_wait_seconds : float, optional
+        How long one attempt waits for *any* healthy worker before failing
+        (covers the restart window after a crash).
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        host: str = "127.0.0.1",
+        cache_dir: str | None = None,
+        subgraph_cache_dir: str | None = None,
+        journal_path: str | None = None,
+        pool_workers: int = 1,
+        batch_window_ms: float = 20.0,
+        heartbeat_seconds: float = 0.5,
+        heartbeat_misses: int = 3,
+        restart_backoff_seconds: float = 0.25,
+        restart_backoff_cap_seconds: float = 8.0,
+        worker_start_timeout: float = 60.0,
+        request_timeout: float = 120.0,
+        dispatch_attempts: int = 4,
+        dispatch_wait_seconds: float = 15.0,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.host = host
+        self.cache_dir = cache_dir
+        self.subgraph_cache_dir = subgraph_cache_dir
+        self.pool_workers = int(pool_workers)
+        self.batch_window_ms = float(batch_window_ms)
+        self.heartbeat_seconds = float(heartbeat_seconds)
+        self.heartbeat_misses = int(heartbeat_misses)
+        self.restart_backoff_seconds = float(restart_backoff_seconds)
+        self.restart_backoff_cap_seconds = float(restart_backoff_cap_seconds)
+        self.worker_start_timeout = float(worker_start_timeout)
+        self.request_timeout = float(request_timeout)
+        self.dispatch_attempts = int(dispatch_attempts)
+        self.dispatch_wait_seconds = float(dispatch_wait_seconds)
+        self.started_at = time.time()
+
+        self.journal = PendingJournal(journal_path) if journal_path else None
+        self._journal_path = journal_path
+        self._replay_backlog = 0
+
+        self.workers: list[WorkerProcess] = []
+        for index in range(num_workers):
+            port = free_port(host)
+            self.workers.append(
+                WorkerProcess(
+                    index,
+                    host,
+                    port,
+                    self._worker_command(port),
+                    request_timeout=request_timeout,
+                )
+            )
+
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._idle = threading.Condition(self._lock)
+        self._draining = False
+        self._stop = threading.Event()
+        self._supervisor_thread: threading.Thread | None = None
+        self._replay_thread: threading.Thread | None = None
+
+        # Create every declared instrument up front so the exposition is
+        # complete from the first scrape (CI validates exactly this set).
+        self.registry = MetricsRegistry()
+        self._instruments = {}
+        for name, (kind, help_text) in FLEET_METRICS.items():
+            factory = {
+                "counter": self.registry.counter,
+                "gauge": self.registry.gauge,
+                "summary": self.registry.summary,
+            }[kind]
+            self._instruments[name] = factory(name, help_text)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _worker_command(self, port: int) -> list[str]:
+        command = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--host",
+            self.host,
+            "--port",
+            str(port),
+            "--workers",
+            "1",
+            "--pool-workers",
+            str(self.pool_workers),
+            "--batch-window-ms",
+            str(self.batch_window_ms),
+        ]
+        if self.cache_dir:
+            command += ["--cache-dir", str(self.cache_dir)]
+        if self.subgraph_cache_dir:
+            command += ["--subgraph-cache-dir", str(self.subgraph_cache_dir)]
+        return command
+
+    def start(self, wait_ready: bool = True, replay: bool = True) -> None:
+        """Spawn the workers, start supervision, kick off journal replay.
+
+        Parameters
+        ----------
+        wait_ready : bool, optional
+            Block until every worker answers ``/healthz`` (or its start
+            timeout expires).
+        replay : bool, optional
+            Re-dispatch unfinished journal entries from a previous run (in
+            the background, so the front end can accept traffic while the
+            backlog drains).
+        """
+        for worker in self.workers:
+            worker.spawn()
+            log_event(
+                "worker_spawn", worker=worker.index, pid=worker.pid, port=worker.port
+            )
+        if wait_ready:
+            deadline = time.monotonic() + self.worker_start_timeout
+            for worker in self.workers:
+                while worker.state == STARTING and time.monotonic() < deadline:
+                    try:
+                        worker.last_healthz = worker.heartbeat_client.healthz()
+                        worker.state = HEALTHY
+                    except ServiceError:
+                        time.sleep(0.05)
+                if worker.state != HEALTHY:
+                    log_event(
+                        "worker_start_timeout", level="warning", worker=worker.index
+                    )
+        self._supervisor_thread = threading.Thread(
+            target=self._supervise, name="repro-fleet-supervisor", daemon=True
+        )
+        self._supervisor_thread.start()
+        if replay and self._journal_path:
+            backlog = PendingJournal.load_unfinished(self._journal_path)
+            self._replay_backlog = len(backlog)
+            if backlog:
+                self._replay_thread = threading.Thread(
+                    target=self._replay,
+                    args=(backlog,),
+                    name="repro-fleet-replay",
+                    daemon=True,
+                )
+                self._replay_thread.start()
+
+    def stop(self, grace_seconds: float = 10.0) -> None:
+        """Stop supervision and terminate every worker (no drain)."""
+        self._stop.set()
+        if self._supervisor_thread is not None:
+            self._supervisor_thread.join(timeout=5.0)
+        for worker in self.workers:
+            worker.terminate(grace_seconds=grace_seconds)
+        if self.journal is not None:
+            self.journal.close()
+
+    def drain(self, timeout: float = 60.0) -> bool:
+        """Graceful SIGTERM semantics: stop accepting, flush, stop workers.
+
+        Parameters
+        ----------
+        timeout : float, optional
+            Maximum seconds to wait for in-flight requests.
+
+        Returns
+        -------
+        bool
+            True when every in-flight request finished inside ``timeout``.
+        """
+        with self._lock:
+            if self._draining:
+                return True
+            self._draining = True
+        self._instruments["repro_fleet_draining"].set(1)
+        log_event("drain_begin", inflight=self.inflight)
+        deadline = time.monotonic() + timeout
+        clean = True
+        with self._idle:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    clean = False
+                    break
+                self._idle.wait(timeout=min(remaining, 0.5))
+        if self.journal is not None and clean:
+            self.journal.compact()
+        self.stop()
+        log_event("drain_complete", clean=clean)
+        return clean
+
+    @property
+    def draining(self) -> bool:
+        """True once a drain has begun."""
+        with self._lock:
+            return self._draining
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently being dispatched."""
+        with self._lock:
+            return self._inflight
+
+    # ------------------------------------------------------------------ #
+    # Supervision loop
+    # ------------------------------------------------------------------ #
+
+    def _supervise(self) -> None:
+        while not self._stop.wait(self.heartbeat_seconds):
+            if self.draining:
+                continue
+            for worker in self.workers:
+                try:
+                    self._check_worker(worker)
+                except Exception as exc:  # noqa: BLE001 - never kill the loop
+                    log_event(
+                        "supervisor_error",
+                        level="error",
+                        worker=worker.index,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+
+    def _check_worker(self, worker: WorkerProcess) -> None:
+        now = time.monotonic()
+        if not worker.alive():
+            if worker.state != RESTARTING:
+                delay = min(
+                    self.restart_backoff_cap_seconds,
+                    self.restart_backoff_seconds * (2**worker.consecutive_failures),
+                )
+                worker.consecutive_failures += 1
+                worker.next_restart_at = now + delay
+                worker.state = RESTARTING
+                log_event(
+                    "worker_down",
+                    level="warning",
+                    worker=worker.index,
+                    restart_in_seconds=round(delay, 3),
+                    consecutive_failures=worker.consecutive_failures,
+                )
+            elif now >= worker.next_restart_at:
+                worker.spawn()
+                worker.restarts += 1
+                self._instruments["repro_fleet_worker_restarts_total"].inc()
+                log_event(
+                    "worker_restart",
+                    worker=worker.index,
+                    pid=worker.pid,
+                    restarts=worker.restarts,
+                )
+            return
+        # Process is alive: heartbeat it.
+        try:
+            worker.last_healthz = worker.heartbeat_client.healthz()
+        except ServiceError as exc:
+            if worker.state == STARTING:
+                if now - worker.spawned_at > self.worker_start_timeout:
+                    log_event(
+                        "worker_start_timeout", level="warning", worker=worker.index
+                    )
+                    worker.terminate(grace_seconds=1.0)
+                return
+            worker.missed_heartbeats += 1
+            if worker.missed_heartbeats >= self.heartbeat_misses:
+                log_event(
+                    "worker_unresponsive",
+                    level="warning",
+                    worker=worker.index,
+                    missed=worker.missed_heartbeats,
+                    error=str(exc),
+                )
+                worker.state = UNHEALTHY
+                worker.terminate(grace_seconds=1.0)
+            return
+        worker.missed_heartbeats = 0
+        if worker.state != HEALTHY:
+            worker.state = HEALTHY
+            worker.consecutive_failures = 0
+            log_event("worker_healthy", worker=worker.index, pid=worker.pid)
+
+    # ------------------------------------------------------------------ #
+    # Routing and dispatch
+    # ------------------------------------------------------------------ #
+
+    def route(self, content_hash: str) -> list[WorkerProcess]:
+        """Workers in rendezvous order for ``content_hash`` (all states)."""
+        order = rendezvous_order(content_hash, [w.index for w in self.workers])
+        by_index = {worker.index: worker for worker in self.workers}
+        return [by_index[index] for index in order]
+
+    def _pick_worker(
+        self, ranked: list[WorkerProcess], tried: set[int], deadline: float
+    ) -> WorkerProcess | None:
+        while True:
+            for worker in ranked:
+                if worker.state == HEALTHY and worker.index not in tried:
+                    return worker
+            # Every healthy worker was already tried this request: allow a
+            # second round rather than failing while capacity exists.
+            for worker in ranked:
+                if worker.state == HEALTHY:
+                    return worker
+            if time.monotonic() >= deadline or self._stop.is_set():
+                return None
+            time.sleep(0.05)
+
+    def dispatch(
+        self, payload: dict, request_id: str | None = None, journal_accept: bool = True
+    ) -> dict:
+        """Route one compile payload to a worker, retrying across failures.
+
+        Parameters
+        ----------
+        payload : dict
+            A ``/compile`` job payload (validated before any dispatch).
+        request_id : str | None, optional
+            Correlation id; generated when absent.
+        journal_accept : bool, optional
+            Write the ``pending`` journal line (False during replay, where
+            the entry already exists).
+
+        Returns
+        -------
+        dict
+            The worker's outcome body, augmented with ``request_id`` and
+            ``worker`` (the serving worker's index).
+
+        Raises
+        ------
+        ValueError
+            Malformed payload (journaled as terminally failed).
+        FleetDrainingError
+            The fleet is draining.
+        NoHealthyWorkerError
+            All dispatch attempts exhausted.
+        ServiceError
+            A worker answered with an HTTP error (relayed verbatim).
+        """
+        request_id = request_id or uuid.uuid4().hex[:16]
+        try:
+            job = BatchJob.from_dict(payload)
+        except (ValueError, TypeError) as exc:
+            if self.journal is not None and journal_accept:
+                # Journal the rejection so a replayed journal never retries
+                # a payload that can never parse.
+                self.journal.record_pending(request_id, payload, "invalid")
+                self.journal.record_failed(request_id, str(exc))
+            raise ValueError(str(exc)) from exc
+        content_hash = job.content_hash
+        with self._lock:
+            if self._draining:
+                raise FleetDrainingError("fleet is draining; not accepting work")
+            self._inflight += 1
+        self._instruments["repro_fleet_requests_total"].inc()
+        self._instruments["repro_fleet_inflight_requests"].inc()
+        if self.journal is not None and journal_accept:
+            self.journal.record_pending(request_id, payload, content_hash)
+        started = time.perf_counter()
+        try:
+            body = self._dispatch_attempts(payload, request_id, content_hash)
+            if self.journal is not None:
+                self.journal.record_done(request_id)
+            body["request_id"] = request_id
+            return body
+        finally:
+            elapsed = time.perf_counter() - started
+            self._instruments["repro_fleet_request_latency_seconds"].observe(elapsed)
+            with self._idle:
+                self._inflight -= 1
+                self._instruments["repro_fleet_inflight_requests"].set(self._inflight)
+                if self._inflight == 0:
+                    self._idle.notify_all()
+
+    def _dispatch_attempts(
+        self, payload: dict, request_id: str, content_hash: str
+    ) -> dict:
+        ranked = self.route(content_hash)
+        tried: set[int] = set()
+        last_error = "no healthy workers"
+        deadline = time.monotonic() + self.dispatch_wait_seconds
+        for attempt in range(self.dispatch_attempts):
+            worker = self._pick_worker(ranked, tried, deadline)
+            if worker is None:
+                break
+            tried.add(worker.index)
+            if self.journal is not None:
+                self.journal.record_attempt(request_id, worker.index)
+            try:
+                body = worker.client.compile_payload(payload)
+            except ServiceError as exc:
+                if exc.status == 0:
+                    # Connection-level failure: the worker died or hung
+                    # mid-request.  Mark the link suspect and re-dispatch to
+                    # the next worker in rendezvous order.
+                    last_error = str(exc)
+                    self._instruments["repro_fleet_retries_total"].inc()
+                    self._note_dispatch_failure(worker)
+                    log_event(
+                        "dispatch_retry",
+                        level="warning",
+                        request_id=request_id,
+                        worker=worker.index,
+                        attempt=attempt,
+                        error=last_error,
+                    )
+                    continue
+                # A real HTTP answer (400/429/500): the worker is fine, the
+                # request outcome is terminal — journal and relay.
+                if self.journal is not None:
+                    self.journal.record_failed(request_id, f"HTTP {exc.status}: {exc}")
+                raise
+            body["worker"] = worker.index
+            return body
+        self._instruments["repro_fleet_request_failures_total"].inc()
+        log_event(
+            "dispatch_failed",
+            level="error",
+            request_id=request_id,
+            error=last_error,
+        )
+        raise NoHealthyWorkerError(last_error)
+
+    def _note_dispatch_failure(self, worker: WorkerProcess) -> None:
+        # Only demote the link when the process is actually gone; a single
+        # timed-out request on a live worker is not a death sentence (the
+        # heartbeat loop owns that call).
+        if not worker.alive() and worker.state == HEALTHY:
+            worker.state = UNHEALTHY
+
+    def _replay(self, backlog: list[JournalEntry]) -> None:
+        log_event("journal_replay_begin", entries=len(backlog))
+        replayed = 0
+        for entry in backlog:
+            if self._stop.is_set() or self.draining:
+                break
+            try:
+                self.dispatch(
+                    entry.payload,
+                    request_id=entry.request_id,
+                    journal_accept=False,
+                )
+                replayed += 1
+                self._instruments["repro_fleet_journal_replayed_total"].inc()
+            except (ValueError, FleetDrainingError, NoHealthyWorkerError, ServiceError) as exc:
+                log_event(
+                    "journal_replay_error",
+                    level="warning",
+                    request_id=entry.request_id,
+                    error=str(exc),
+                )
+            with self._lock:
+                self._replay_backlog = max(0, self._replay_backlog - 1)
+        if self.journal is not None and not self.draining:
+            self.journal.compact()
+        log_event("journal_replay_complete", replayed=replayed)
+
+    # ------------------------------------------------------------------ #
+    # Ops surface
+    # ------------------------------------------------------------------ #
+
+    def healthz(self) -> dict:
+        """The fleet roll-up body served on ``GET /healthz``."""
+        import repro
+
+        with self._lock:
+            inflight = self._inflight
+            draining = self._draining
+        return {
+            "status": "draining" if draining else "ok",
+            "role": "fleet",
+            "version": repro.__version__,
+            "pid": os.getpid(),
+            "uptime_seconds": time.time() - self.started_at,
+            "num_workers": len(self.workers),
+            "inflight": inflight,
+            "requests_total": int(
+                self._instruments["repro_fleet_requests_total"].value()
+            ),
+            "journal": {
+                "enabled": self.journal is not None,
+                "path": self._journal_path,
+                "replay_backlog": self._replay_backlog,
+            },
+            "workers": [worker.snapshot() for worker in self.workers],
+        }
+
+    def render_metrics(self) -> str:
+        """Refresh gauges/roll-ups and render the Prometheus exposition."""
+        ins = self._instruments
+        ins["repro_fleet_uptime_seconds"].set(time.time() - self.started_at)
+        ins["repro_fleet_workers_total"].set(len(self.workers))
+        healthy = sum(1 for worker in self.workers if worker.state == HEALTHY)
+        ins["repro_fleet_workers_healthy"].set(healthy)
+        with self._lock:
+            ins["repro_fleet_inflight_requests"].set(self._inflight)
+            ins["repro_fleet_journal_pending"].set(self._inflight + self._replay_backlog)
+        served = cache_hits = cache_misses = 0
+        sub_hits = sub_misses = 0
+        for worker in self.workers:
+            ins["repro_fleet_worker_up"].set(
+                1.0 if worker.state == HEALTHY else 0.0, worker=str(worker.index)
+            )
+            body = worker.last_healthz or {}
+            served += int(body.get("requests_served", 0))
+            cache = body.get("cache") or {}
+            cache_hits += int(cache.get("hits", 0))
+            cache_misses += int(cache.get("misses", 0))
+            subgraph = body.get("subgraph_cache") or {}
+            sub_hits += int(subgraph.get("hits", 0))
+            sub_misses += int(subgraph.get("misses", 0))
+        ins["repro_fleet_worker_requests_served_total"].set_total(served)
+        ins["repro_fleet_result_cache_hits_total"].set_total(cache_hits)
+        ins["repro_fleet_result_cache_misses_total"].set_total(cache_misses)
+        ins["repro_fleet_subgraph_cache_hits_total"].set_total(sub_hits)
+        ins["repro_fleet_subgraph_cache_misses_total"].set_total(sub_misses)
+        total = sub_hits + sub_misses
+        ins["repro_fleet_subgraph_cache_hit_rate"].set(
+            sub_hits / total if total else 0.0
+        )
+        return self.registry.render()
+
+
+class _FleetHandler(BaseHTTPRequestHandler):
+    """Route front-end HTTP requests to the :class:`FleetSupervisor`."""
+
+    protocol_version = "HTTP/1.1"
+    server: "FleetServer"
+
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Serve ``/healthz``, ``/metrics`` and ``/status/<worker>-<id>``."""
+        supervisor = self.server.supervisor
+        if self.path == "/healthz":
+            self._send_json(200, supervisor.healthz())
+            return
+        if self.path == "/metrics":
+            self._send_text(200, supervisor.render_metrics())
+            return
+        if self.path.startswith("/status/"):
+            self._forward_status(self.path[len("/status/"):])
+            return
+        self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Serve ``/compile`` (hash-routed) and ``/batch`` (forwarded)."""
+        try:
+            payload = self._read_json()
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        if self.path == "/compile":
+            self._handle_compile(payload)
+        elif self.path == "/batch":
+            self._handle_batch(payload)
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    # ------------------------------------------------------------------ #
+
+    def _handle_compile(self, payload: dict) -> None:
+        supervisor = self.server.supervisor
+        request_id = self.headers.get("X-Request-Id") or uuid.uuid4().hex[:16]
+        started = time.perf_counter()
+        status = 200
+        worker: int | None = None
+        try:
+            body = supervisor.dispatch(payload, request_id=request_id)
+            worker = body.get("worker")
+        except ValueError as exc:
+            status, body = 400, {"error": str(exc), "request_id": request_id}
+        except FleetDrainingError as exc:
+            status, body = 503, {"error": str(exc), "request_id": request_id}
+        except NoHealthyWorkerError as exc:
+            status, body = 503, {
+                "error": f"no worker could serve the request: {exc}",
+                "request_id": request_id,
+            }
+        except ServiceError as exc:
+            status = exc.status or 502
+            body = dict(exc.body) or {"error": str(exc)}
+            body["request_id"] = request_id
+        except Exception as exc:  # noqa: BLE001 - never kill the front end
+            status, body = 500, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "request_id": request_id,
+            }
+        self._send_json(status, body, request_id=request_id)
+        log_event(
+            "request",
+            request_id=request_id,
+            path="/compile",
+            status=status,
+            worker=worker,
+            latency_ms=round(1000.0 * (time.perf_counter() - started), 3),
+        )
+
+    def _handle_batch(self, payload: dict) -> None:
+        supervisor = self.server.supervisor
+        request_id = self.headers.get("X-Request-Id") or uuid.uuid4().hex[:16]
+        if supervisor.draining:
+            self._send_json(
+                503,
+                {"error": "fleet is draining; not accepting work",
+                 "request_id": request_id},
+                request_id=request_id,
+            )
+            return
+        batch_hash = hashlib.sha256(
+            json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+        ).hexdigest()
+        for worker in supervisor.route(batch_hash):
+            if worker.state != HEALTHY:
+                continue
+            try:
+                body = worker.client.request("POST", "/batch", payload)
+            except ServiceError as exc:
+                if exc.status == 0:
+                    continue
+                relay = dict(exc.body) or {"error": str(exc)}
+                relay["request_id"] = request_id
+                self._send_json(exc.status or 502, relay, request_id=request_id)
+                return
+            # Prefix the job id with the worker index so /status can route
+            # the poll back to the same worker.
+            body["job_id"] = f"{worker.index}-{body['job_id']}"
+            body["worker"] = worker.index
+            body["request_id"] = request_id
+            self._send_json(202, body, request_id=request_id)
+            return
+        self._send_json(
+            503,
+            {"error": "no healthy worker for batch", "request_id": request_id},
+            request_id=request_id,
+        )
+
+    def _forward_status(self, job_id: str) -> None:
+        supervisor = self.server.supervisor
+        index_text, _, remote_id = job_id.partition("-")
+        workers = {str(w.index): w for w in supervisor.workers}
+        worker = workers.get(index_text)
+        if worker is None or not remote_id:
+            self._send_json(404, {"error": f"unknown job id {job_id!r}"})
+            return
+        try:
+            body = worker.client.request("GET", f"/status/{remote_id}")
+        except ServiceError as exc:
+            body = dict(exc.body) or {"error": str(exc)}
+            self._send_json(exc.status or 502, body)
+            return
+        body["job_id"] = job_id
+        body["worker"] = worker.index
+        self._send_json(200, body)
+
+    # ------------------------------------------------------------------ #
+
+    def _read_json(self) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError as exc:
+            self.close_connection = True
+            raise ValueError("bad Content-Length header") from exc
+        if length <= 0:
+            raise ValueError("request body must be a JSON object")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _send_json(self, status: int, body: dict, request_id: str | None = None) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if request_id is not None:
+            self.send_header("X-Request-Id", request_id)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_text(self, status: int, text: str) -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Default request logging is replaced by structured JSON logs."""
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+
+class FleetServer(ThreadingHTTPServer):
+    """The thin HTTP front end bound to one :class:`FleetSupervisor`.
+
+    Parameters
+    ----------
+    address : tuple[str, int]
+        ``(host, port)`` to bind; port ``0`` picks a free port.
+    supervisor : FleetSupervisor
+        The supervisor requests are routed through.
+    verbose : bool, optional
+        Also emit http.server's per-request lines (JSON logs are always on).
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        supervisor: FleetSupervisor,
+        verbose: bool = False,
+    ):
+        super().__init__(address, _FleetHandler)
+        self.supervisor = supervisor
+        self.verbose = verbose
+
+    def drain_and_shutdown(self, timeout: float = 60.0) -> bool:
+        """Graceful SIGTERM path: drain the supervisor, stop serving."""
+        clean = self.supervisor.drain(timeout=timeout)
+        self.shutdown()
+        return clean
+
+
+def install_sigterm_drain(server: FleetServer, timeout: float = 60.0) -> None:
+    """Install SIGTERM/SIGINT handlers that drain ``server`` gracefully.
+
+    The handler runs the drain on a helper thread: calling
+    ``server.shutdown()`` from the signal frame would deadlock the serving
+    loop it interrupts.
+    """
+    def _handler(signum, frame):  # noqa: ARG001 - signal API
+        log_event("signal", signal=signal.Signals(signum).name)
+        threading.Thread(
+            target=server.drain_and_shutdown,
+            kwargs={"timeout": timeout},
+            name="repro-fleet-drain",
+            daemon=True,
+        ).start()
+
+    signal.signal(signal.SIGTERM, _handler)
+    signal.signal(signal.SIGINT, _handler)
+
+
+def start_fleet(
+    num_workers: int,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    wait_ready: bool = True,
+    **supervisor_kwargs,
+) -> tuple[FleetServer, FleetSupervisor, threading.Thread]:
+    """Build and start a fleet, serving its front end on a daemon thread.
+
+    Parameters
+    ----------
+    num_workers : int
+        Number of compile-worker subprocesses.
+    host, port : str, int
+        Front-end bind address; port ``0`` picks a free port.
+    wait_ready : bool, optional
+        Block until every worker answers ``/healthz``.
+    **supervisor_kwargs
+        Forwarded to :class:`FleetSupervisor`.
+
+    Returns
+    -------
+    tuple[FleetServer, FleetSupervisor, threading.Thread]
+        The front end (query ``server.server_address``), the supervisor and
+        the serving thread.  Call ``supervisor.stop()`` (or
+        ``server.drain_and_shutdown()``) when done.
+    """
+    supervisor = FleetSupervisor(num_workers, host=host, **supervisor_kwargs)
+    supervisor.start(wait_ready=wait_ready)
+    server = FleetServer((host, port), supervisor)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-fleet-serve", daemon=True
+    )
+    thread.start()
+    return server, supervisor, thread

@@ -12,11 +12,19 @@ Because jobs repeat across rounds (and across runs, if the server has a
 persistent cache directory), a *second* identical run is expected to be
 served almost entirely from cache — ``repro loadgen --min-cache-hit-rate``
 turns that expectation into a checkable exit code, which CI uses.
+
+As a fault-injection harness, ``run_loadgen(kill_worker_after=K)`` SIGKILLs
+one healthy compile worker of a *fleet* front end (pids come from the
+fleet's ``/healthz`` roll-up) after K requests have completed — the CI
+``fleet-smoke`` job uses it to assert that a worker crash mid-load completes
+the run with zero failed requests.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
+import signal
 import threading
 import time
 from dataclasses import dataclass, field
@@ -112,6 +120,9 @@ class LoadReport:
     wall_seconds: float = 0.0
     latencies_seconds: list[float] = field(default_factory=list)
     first_errors: list[str] = field(default_factory=list)
+    killed_worker_index: int | None = None
+    killed_worker_pid: int | None = None
+    killed_after_requests: int | None = None
 
     @property
     def ok(self) -> bool:
@@ -141,7 +152,7 @@ class LoadReport:
 
     def summary(self) -> dict:
         """JSON-serialisable aggregate (what the CLI prints)."""
-        return {
+        body = {
             "requests": self.requests,
             "errors": self.errors,
             "wall_seconds": self.wall_seconds,
@@ -152,6 +163,11 @@ class LoadReport:
             "cache_hit_rate": self.cache_hit_rate,
             "coalesced": self.coalesced,
         }
+        if self.killed_worker_pid is not None:
+            body["killed_worker_index"] = self.killed_worker_index
+            body["killed_worker_pid"] = self.killed_worker_pid
+            body["killed_after_requests"] = self.killed_after_requests
+        return body
 
     def to_text(self) -> str:
         """Human-readable report block."""
@@ -165,9 +181,40 @@ class LoadReport:
             f"cache hits:    {self.cache_hits} ({100.0 * self.cache_hit_rate:.1f}%)"
             f"  coalesced: {self.coalesced}",
         ]
+        if self.killed_worker_pid is not None:
+            lines.append(
+                f"fault inject: SIGKILLed worker {self.killed_worker_index} "
+                f"(pid {self.killed_worker_pid}) after "
+                f"{self.killed_after_requests} requests"
+            )
         for message in self.first_errors:
             lines.append(f"error: {message}")
         return "\n".join(lines)
+
+
+def _kill_one_worker(url: str, timeout: float, report: LoadReport, lock) -> None:
+    """SIGKILL one healthy compile worker of the fleet serving ``url``.
+
+    The victim is the first worker with a pid in the fleet's ``/healthz``
+    roll-up.  Raises :class:`ValueError` when the target is not a fleet
+    front end (single ``repro serve`` instances expose no worker pids).
+    """
+    body = ServiceClient(url, timeout=timeout).healthz()
+    workers = body.get("workers")
+    if not workers:
+        raise ValueError(
+            "--kill-worker-after needs a fleet front end "
+            "(repro serve --workers N > 1); /healthz lists no workers"
+        )
+    victims = [w for w in workers if w.get("pid") and w.get("state") == "healthy"]
+    victims = victims or [w for w in workers if w.get("pid")]
+    if not victims:
+        raise ValueError("no worker with a pid to kill in /healthz")
+    victim = victims[0]
+    os.kill(int(victim["pid"]), signal.SIGKILL)
+    with lock:
+        report.killed_worker_index = victim.get("index")
+        report.killed_worker_pid = int(victim["pid"])
 
 
 def run_loadgen(
@@ -176,6 +223,8 @@ def run_loadgen(
     requests: int = 50,
     concurrency: int = 4,
     timeout: float = 120.0,
+    retries: int = 1,
+    kill_worker_after: int | None = None,
 ) -> LoadReport:
     """Drive the service closed-loop and aggregate a :class:`LoadReport`.
 
@@ -191,7 +240,17 @@ def run_loadgen(
     concurrency : int, optional
         Number of closed-loop worker threads.
     timeout : float, optional
-        Per-request timeout in seconds.
+        Per-request socket timeout in seconds (a hung server fails the
+        request instead of stalling the closed loop forever).
+    retries : int, optional
+        Retries per request after a connection failure or HTTP 503 (the
+        fleet front end briefly mid-recovery); compiles are content-hash
+        idempotent, so a retried POST is safe.
+    kill_worker_after : int | None, optional
+        Fault injection: after this many requests have *completed*, SIGKILL
+        one healthy compile worker of the fleet serving ``url``.  The
+        target must be a fleet front end (its ``/healthz`` lists worker
+        pids); the killed worker is recorded on the report.
 
     Returns
     -------
@@ -204,14 +263,20 @@ def run_loadgen(
         raise ValueError(f"requests must be >= 1, got {requests}")
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if kill_worker_after is not None and not 0 <= kill_worker_after < requests:
+        raise ValueError(
+            f"kill_worker_after must be in [0, {requests}), got {kill_worker_after}"
+        )
 
     report = LoadReport()
     lock = threading.Lock()
     counter = itertools.count()
+    kill_pending = kill_worker_after is not None
 
     def worker() -> None:
         """One closed-loop client: issue requests until the counter runs out."""
-        client = ServiceClient(url, timeout=timeout)
+        nonlocal kill_pending
+        client = ServiceClient(url, timeout=timeout, retries=retries)
         while True:
             index = next(counter)
             if index >= requests:
@@ -228,6 +293,7 @@ def run_loadgen(
             except ServiceError as exc:
                 error = str(exc)
             latency = time.perf_counter() - started
+            fire_kill = False
             with lock:
                 report.requests += 1
                 if error is None:
@@ -238,6 +304,20 @@ def run_loadgen(
                     report.errors += 1
                     if len(report.first_errors) < 3:
                         report.first_errors.append(error)
+                if kill_pending and report.requests > kill_worker_after:
+                    kill_pending = False
+                    fire_kill = True
+                    report.killed_after_requests = report.requests
+            if fire_kill:
+                try:
+                    # Outside the lock: the kill takes an HTTP round-trip.
+                    _kill_one_worker(url, timeout, report, lock)
+                except (ServiceError, ValueError, OSError) as exc:
+                    # Surface the failed injection as a run failure instead
+                    # of silently reporting a kill that never happened.
+                    with lock:
+                        report.errors += 1
+                        report.first_errors.append(f"kill-worker failed: {exc}")
 
     started = time.perf_counter()
     threads = [

@@ -1,0 +1,468 @@
+"""Prometheus-style metrics and structured JSON logs for the ops surface.
+
+The fleet front end (:mod:`repro.service.fleet`) exposes a ``GET /metrics``
+endpoint in the Prometheus text exposition format.  This module provides the
+three instrument kinds it needs, a tiny thread-safe registry, and — because a
+metrics endpoint nobody validates rots silently — an exposition *validator*
+that CI runs against a live scrape:
+
+* :class:`Counter` — monotonically increasing totals (requests, retries,
+  restarts), optionally split by labels (``counter.labels(worker="0")``);
+* :class:`Gauge` — point-in-time values (queue depth, worker up/down);
+* :class:`Summary` — a sliding-window latency reservoir that renders
+  ``{quantile="0.5|0.95|0.99"}`` samples plus ``_count``/``_sum``;
+* :class:`MetricsRegistry` — owns the instruments and renders the exposition;
+* :func:`validate_exposition` — checks that every declared metric family is
+  present with numeric samples (``python -m repro.service.metrics scrape.txt``
+  is the CI entry point);
+* :func:`log_event` — one structured JSON log line (request ids, worker
+  lifecycle events) on stderr.
+
+Everything is stdlib-only, matching the rest of the service layer.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import sys
+import threading
+import time
+from collections import deque
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Summary",
+    "MetricsRegistry",
+    "FLEET_METRICS",
+    "render_fleet_help",
+    "validate_exposition",
+    "log_event",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: One exposition sample line: ``name{labels} value`` (labels optional).
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+
+#: Metric families the fleet front end always exports, with their types.
+#: CI scrapes ``/metrics`` and fails if any of these is missing or
+#: non-numeric (:func:`validate_exposition`), locking the exposition format.
+FLEET_METRICS: dict[str, tuple[str, str]] = {
+    "repro_fleet_uptime_seconds": (
+        "gauge", "Seconds since the fleet front end started."
+    ),
+    "repro_fleet_draining": (
+        "gauge", "1 while a SIGTERM graceful drain is in progress."
+    ),
+    "repro_fleet_workers_total": ("gauge", "Number of configured compile workers."),
+    "repro_fleet_workers_healthy": ("gauge", "Workers currently passing heartbeat checks."),
+    "repro_fleet_worker_up": ("gauge", "Per-worker liveness (1 healthy, 0 otherwise)."),
+    "repro_fleet_worker_restarts_total": (
+        "counter", "Worker restarts performed by the supervisor."
+    ),
+    "repro_fleet_requests_total": ("counter", "Requests accepted by the front end."),
+    "repro_fleet_request_failures_total": (
+        "counter", "Requests that exhausted every dispatch attempt."
+    ),
+    "repro_fleet_retries_total": ("counter", "Dispatch attempts re-routed after a worker failure."),
+    "repro_fleet_inflight_requests": (
+        "gauge", "Requests currently being dispatched (queue depth)."
+    ),
+    "repro_fleet_request_latency_seconds": (
+        "summary", "Front-end request latency (sliding window)."
+    ),
+    "repro_fleet_journal_pending": ("gauge", "Unfinished entries in the pending-queue journal."),
+    "repro_fleet_journal_replayed_total": ("counter", "Journal entries replayed after a restart."),
+    "repro_fleet_worker_requests_served_total": (
+        "counter", "Requests served, rolled up from worker /healthz."
+    ),
+    "repro_fleet_result_cache_hits_total": (
+        "counter", "Result-cache hits rolled up from worker /healthz."
+    ),
+    "repro_fleet_result_cache_misses_total": (
+        "counter", "Result-cache misses rolled up from worker /healthz."
+    ),
+    "repro_fleet_subgraph_cache_hits_total": (
+        "counter", "Subgraph compile-cache hits rolled up from workers."
+    ),
+    "repro_fleet_subgraph_cache_misses_total": (
+        "counter", "Subgraph compile-cache misses rolled up from workers."
+    ),
+    "repro_fleet_subgraph_cache_hit_rate": ("gauge", "Fleet-wide subgraph compile-cache hit rate."),
+}
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus expects."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    """Render a label set as ``{key="value",...}`` (empty string when none)."""
+    if not labels:
+        return ""
+    # json.dumps produces exactly the quoting/escaping Prometheus expects
+    # for label values (backslash, double quote, newline).
+    body = ",".join(
+        f"{key}={json.dumps(str(value))}" for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+class _Instrument:
+    """Shared plumbing: a name, help text and a lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help_text = help_text
+        self._lock = threading.Lock()
+
+    def samples(self) -> list[tuple[str, dict[str, str], float]]:
+        """``(suffix, labels, value)`` triples to render."""
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total, optionally split by labels.
+
+    Parameters
+    ----------
+    name : str
+        Metric family name (``*_total`` by convention).
+    help_text : str
+        One-line description rendered as ``# HELP``.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str):
+        super().__init__(name, help_text)
+        self._values: dict[tuple[tuple[str, str], ...], float] = {(): 0.0}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (default 1) to the child identified by ``labels``."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of the child identified by ``labels``."""
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def set_total(self, value: float, **labels: str) -> None:
+        """Overwrite a child total (for totals *rolled up* from workers).
+
+        Roll-up counters mirror monotone totals owned elsewhere (worker
+        ``/healthz`` bodies), so the front end sets them rather than
+        incrementing.
+        """
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            self._values[key] = float(value)
+
+    def samples(self) -> list[tuple[str, dict[str, str], float]]:
+        """One sample per label child."""
+        with self._lock:
+            return [("", dict(key), value) for key, value in sorted(self._values.items())]
+
+
+class Gauge(_Instrument):
+    """A point-in-time value, optionally split by labels."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str):
+        super().__init__(name, help_text)
+        self._values: dict[tuple[tuple[str, str], ...], float] = {(): 0.0}
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the child identified by ``labels`` to ``value``."""
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` to the child identified by ``labels``."""
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of the child identified by ``labels``."""
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def samples(self) -> list[tuple[str, dict[str, str], float]]:
+        """One sample per label child."""
+        with self._lock:
+            return [("", dict(key), value) for key, value in sorted(self._values.items())]
+
+
+class Summary(_Instrument):
+    """Latency quantiles over a sliding window of recent observations.
+
+    Renders the Prometheus summary convention: ``name{quantile="0.5"}`` (and
+    0.95/0.99) from the window, plus cumulative ``name_count``/``name_sum``
+    over *all* observations.
+
+    Parameters
+    ----------
+    name, help_text : str
+        Family name and ``# HELP`` text.
+    window : int, optional
+        Number of recent observations the quantiles are computed over.
+    quantiles : tuple[float, ...], optional
+        Quantiles to expose (fractions in ``(0, 1)``).
+    """
+
+    kind = "summary"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        window: int = 2048,
+        quantiles: tuple[float, ...] = (0.5, 0.95, 0.99),
+    ):
+        super().__init__(name, help_text)
+        self._window: deque[float] = deque(maxlen=int(window))
+        self.quantiles = tuple(quantiles)
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self._window.append(float(value))
+            self._count += 1
+            self._sum += float(value)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (fraction) of the current window (0 if empty)."""
+        with self._lock:
+            window = sorted(self._window)
+        if not window:
+            return 0.0
+        position = q * (len(window) - 1)
+        low = int(position)
+        high = min(low + 1, len(window) - 1)
+        fraction = position - low
+        return window[low] * (1.0 - fraction) + window[high] * fraction
+
+    @property
+    def count(self) -> int:
+        """Total observations ever recorded."""
+        with self._lock:
+            return self._count
+
+    def samples(self) -> list[tuple[str, dict[str, str], float]]:
+        """Quantile samples plus ``_count`` and ``_sum``."""
+        rows = [("", {"quantile": str(q)}, self.quantile(q)) for q in self.quantiles]
+        with self._lock:
+            rows.append(("_count", {}, float(self._count)))
+            rows.append(("_sum", {}, self._sum))
+        return rows
+
+
+class MetricsRegistry:
+    """A named collection of instruments that renders one exposition.
+
+    Instruments are created through :meth:`counter` / :meth:`gauge` /
+    :meth:`summary`; asking for an existing name returns the existing
+    instrument (so call sites need no registration dance).
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs) -> _Instrument:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            instrument = cls(name, help_text, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(Gauge, name, help_text)
+
+    def summary(self, name: str, help_text: str = "", **kwargs) -> Summary:
+        """Get or create the summary ``name``."""
+        return self._get_or_create(Summary, name, help_text, **kwargs)
+
+    def render(self) -> str:
+        """The full Prometheus text exposition (``text/plain; version=0.0.4``)."""
+        lines: list[str] = []
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            if instrument.help_text:
+                lines.append(f"# HELP {instrument.name} {instrument.help_text}")
+            lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+            for suffix, labels, value in instrument.samples():
+                lines.append(
+                    f"{instrument.name}{suffix}{_format_labels(labels)} "
+                    f"{_format_value(value)}"
+                )
+        return "\n".join(lines) + "\n"
+
+
+def render_fleet_help() -> str:
+    """A human-readable table of every declared fleet metric (for docs)."""
+    rows = [f"{name} ({kind}): {help_text}" for name, (kind, help_text) in FLEET_METRICS.items()]
+    return "\n".join(rows)
+
+
+def validate_exposition(
+    text: str, required: dict[str, tuple[str, str]] | None = None
+) -> list[str]:
+    """Check a scraped exposition against the declared fleet metrics.
+
+    Parameters
+    ----------
+    text : str
+        The body of a ``GET /metrics`` response.
+    required : dict | None, optional
+        Mapping of required family names to ``(type, help)`` pairs
+        (default: :data:`FLEET_METRICS`).
+
+    Returns
+    -------
+    list[str]
+        Human-readable problems; empty when the exposition is valid.  A
+        family counts as present when at least one sample line for it (or
+        its ``_count``/``_sum`` children for summaries) parses to a finite
+        number.
+    """
+    if required is None:
+        required = FLEET_METRICS
+    problems: list[str] = []
+    seen: dict[str, int] = {}
+    declared_types: dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) >= 4:
+                declared_types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        try:
+            value = float(match.group("value").replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            problems.append(
+                f"line {lineno}: non-numeric value {match.group('value')!r} "
+                f"for {match.group('name')}"
+            )
+            continue
+        if math.isnan(value):
+            problems.append(f"line {lineno}: NaN value for {match.group('name')}")
+            continue
+        seen[match.group("name")] = seen.get(match.group("name"), 0) + 1
+    for name, (kind, _help) in required.items():
+        sample_names = [name]
+        if kind == "summary":
+            sample_names = [name, f"{name}_count", f"{name}_sum"]
+        if not any(sample in seen for sample in sample_names):
+            problems.append(f"missing required {kind} metric {name!r}")
+            continue
+        if declared_types.get(name) not in (None, kind):
+            problems.append(
+                f"metric {name!r} declared as {declared_types[name]!r}, "
+                f"expected {kind!r}"
+            )
+    return problems
+
+
+_LOG_LOCK = threading.Lock()
+
+
+def log_event(event: str, *, level: str = "info", stream=None, **fields) -> None:
+    """Emit one structured JSON log line (the fleet's logging format).
+
+    Parameters
+    ----------
+    event : str
+        Short machine-matchable event name, e.g. ``"worker_restart"``.
+    level : str, optional
+        ``"info"``, ``"warning"`` or ``"error"``.
+    stream : file-like | None, optional
+        Destination (default ``sys.stderr``).
+    **fields
+        Extra JSON-serialisable fields (``request_id``, ``worker``, ...).
+    """
+    record = {"ts": round(time.time(), 6), "level": level, "event": event}
+    record.update(fields)
+    line = json.dumps(record, sort_keys=True, default=str)
+    target = stream if stream is not None else sys.stderr
+    with _LOG_LOCK:
+        print(line, file=target, flush=True)
+
+
+def _main(argv: list[str]) -> int:
+    """CI entry point: validate a scraped exposition file.
+
+    ``python -m repro.service.metrics scrape.txt`` exits 0 when every
+    declared fleet metric is present and numeric, 1 otherwise (printing one
+    problem per line).
+    """
+    if len(argv) != 1:
+        print("usage: python -m repro.service.metrics <scrape-file>", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[0], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"metrics: cannot read scrape file: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_exposition(text)
+    if problems:
+        for problem in problems:
+            print(f"metrics: {problem}", file=sys.stderr)
+        return 1
+    print(f"metrics: ok ({len(FLEET_METRICS)} declared families present)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(_main(sys.argv[1:]))

@@ -253,6 +253,8 @@ class CompileService:
         isomorphism-keyed compile cache; with ``max_workers > 1`` the pool
         workers keep their own tiers (sharing only the disk directory).
         """
+        import os
+
         import repro
         from repro.core.compile_cache import peek_process_cache
 
@@ -264,6 +266,7 @@ class CompileService:
         body = {
             "status": "ok",
             "version": repro.__version__,
+            "pid": os.getpid(),
             "uptime_seconds": time.time() - self.started_at,
             "requests_served": requests_served,
             "async_batches": num_batches,
@@ -360,21 +363,32 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         """Serve ``/healthz`` and ``/status/<job>``."""
-        if self.path == "/healthz":
-            self._send(200, self.server.service.healthz())
-            return
-        if self.path.startswith("/status/"):
-            job_id = self.path[len("/status/"):]
-            body = self.server.service.status(job_id)
-            if body is None:
-                self._send(404, {"error": f"unknown job id {job_id!r}"})
-            else:
-                self._send(200, body)
-            return
-        self._send(404, {"error": f"unknown path {self.path!r}"})
+        self.server.track_request(1)
+        try:
+            if self.path == "/healthz":
+                self._send(200, self.server.service.healthz())
+                return
+            if self.path.startswith("/status/"):
+                job_id = self.path[len("/status/"):]
+                body = self.server.service.status(job_id)
+                if body is None:
+                    self._send(404, {"error": f"unknown job id {job_id!r}"})
+                else:
+                    self._send(200, body)
+                return
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+        finally:
+            self.server.track_request(-1)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         """Serve ``/compile`` and ``/batch``."""
+        self.server.track_request(1)
+        try:
+            self._do_post()
+        finally:
+            self.server.track_request(-1)
+
+    def _do_post(self) -> None:
         # Read the body before routing: with HTTP/1.1 keep-alive an unread
         # body would be parsed as the next request line, desyncing the
         # connection for every response, 404s included.
@@ -458,11 +472,47 @@ class CompileServer(ThreadingHTTPServer):
         super().__init__(address, _Handler)
         self.service = service
         self.verbose = verbose
+        self._active_requests = 0
+        self._active_lock = threading.Lock()
+
+    def track_request(self, delta: int) -> None:
+        """Adjust the in-flight request count (called by the handler)."""
+        with self._active_lock:
+            self._active_requests += delta
+
+    @property
+    def active_requests(self) -> int:
+        """Requests currently being handled."""
+        with self._active_lock:
+            return self._active_requests
 
     def shutdown(self) -> None:
         """Stop serving and shut the service down."""
         super().shutdown()
         self.service.close()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """SIGTERM semantics: stop accepting, flush in-flight, close.
+
+        Stops the accept loop, waits up to ``timeout`` seconds for every
+        in-flight request to finish writing its response, then shuts the
+        service down.  Callable from any thread *except* a signal handler
+        running on the serving thread (spawn a helper thread there).
+
+        Returns
+        -------
+        bool
+            True when no request was still in flight at the end.
+        """
+        ThreadingHTTPServer.shutdown(self)  # stop accepting; keep service up
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.active_requests == 0:
+                break
+            time.sleep(0.02)
+        drained = self.active_requests == 0
+        self.service.close()
+        return drained
 
 
 def start_server(

@@ -1,0 +1,479 @@
+"""Tests for the multi-worker compile fleet: routing, journal, metrics, ops.
+
+The fast half exercises the pure building blocks (rendezvous hashing, the
+pending-queue journal, the metrics registry and exposition validator, the
+client retry loop) and runs in tier-1.  The multi-process half — real worker
+subprocesses, SIGKILL fault injection, journal replay, drain under load —
+is marked ``slow`` and deselected by default; CI's ``fleet-smoke`` job runs
+it with ``pytest tests/test_fleet.py -m slow``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.pipeline.jobs import BatchJob, PendingJournal
+from repro.service.client import RETRYABLE_STATUSES, ServiceClient, ServiceError
+from repro.service.fleet import (
+    HEALTHY,
+    FleetDrainingError,
+    rendezvous_order,
+    start_fleet,
+)
+from repro.service.loadgen import run_loadgen
+from repro.service.metrics import (
+    FLEET_METRICS,
+    MetricsRegistry,
+    validate_exposition,
+)
+from repro.service.metrics import _main as metrics_main
+
+# --------------------------------------------------------------------------- #
+# Rendezvous routing (fast)
+# --------------------------------------------------------------------------- #
+
+
+class TestRendezvousOrder:
+    def test_is_a_permutation_and_deterministic(self):
+        indices = [0, 1, 2, 3, 4]
+        order = rendezvous_order("deadbeef", indices)
+        assert sorted(order) == indices
+        assert order == rendezvous_order("deadbeef", indices)
+
+    def test_different_hashes_spread_across_workers(self):
+        indices = list(range(4))
+        first_choices = {
+            rendezvous_order(f"hash-{i}", indices)[0] for i in range(200)
+        }
+        assert first_choices == set(indices)
+
+    def test_consistent_hashing_property(self):
+        # Removing one worker must not reshuffle the relative order of the
+        # survivors: jobs that did not prefer the removed worker keep their
+        # placement.
+        indices = [0, 1, 2, 3]
+        for i in range(50):
+            content_hash = f"job-{i}"
+            full = rendezvous_order(content_hash, indices)
+            without = rendezvous_order(content_hash, [0, 1, 3])
+            assert [index for index in full if index != 2] == without
+
+    def test_identical_jobs_share_a_worker(self):
+        job = BatchJob.from_dict({"family": "lattice", "size": 9, "kind": "compile"})
+        same = BatchJob.from_dict({"family": "lattice", "size": 9, "kind": "compile"})
+        indices = [0, 1, 2]
+        assert (
+            rendezvous_order(job.content_hash, indices)
+            == rendezvous_order(same.content_hash, indices)
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Pending-queue journal (fast)
+# --------------------------------------------------------------------------- #
+
+
+class TestPendingJournal:
+    def test_done_entries_are_not_replayed(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = PendingJournal(path)
+        journal.record_pending("r1", {"family": "ghz", "size": 4}, "h1")
+        journal.record_attempt("r1", 0)
+        journal.record_done("r1")
+        journal.record_pending("r2", {"family": "ghz", "size": 5}, "h2")
+        journal.record_attempt("r2", 1)
+        journal.close()
+
+        unfinished = PendingJournal.load_unfinished(path)
+        assert [entry.request_id for entry in unfinished] == ["r2"]
+        assert unfinished[0].payload == {"family": "ghz", "size": 5}
+        assert unfinished[0].attempts == 1
+
+    def test_failed_entries_are_terminal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = PendingJournal(path)
+        journal.record_pending("bad", {"family": "nope"}, "invalid")
+        journal.record_failed("bad", "unknown family")
+        journal.close()
+        assert PendingJournal.load_unfinished(path) == []
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = PendingJournal(path)
+        journal.record_pending("r1", {"family": "ghz", "size": 4}, "h1")
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "pending", "request_id": "r2", "pa')
+        unfinished = PendingJournal.load_unfinished(path)
+        assert [entry.request_id for entry in unfinished] == ["r1"]
+
+    def test_compact_drops_finished_entries(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = PendingJournal(path)
+        for i in range(5):
+            journal.record_pending(f"r{i}", {"family": "ghz", "size": 4 + i}, f"h{i}")
+            if i != 3:
+                journal.record_done(f"r{i}")
+        kept = journal.compact()
+        journal.close()
+        assert kept == 1
+        unfinished = PendingJournal.load_unfinished(path)
+        assert [entry.request_id for entry in unfinished] == ["r3"]
+
+    def test_missing_file_means_empty_backlog(self, tmp_path):
+        assert PendingJournal.load_unfinished(tmp_path / "absent.jsonl") == []
+
+
+# --------------------------------------------------------------------------- #
+# Metrics registry and exposition validator (fast)
+# --------------------------------------------------------------------------- #
+
+
+def _full_exposition() -> str:
+    registry = MetricsRegistry()
+    for name, (kind, help_text) in FLEET_METRICS.items():
+        factory = {
+            "counter": registry.counter,
+            "gauge": registry.gauge,
+            "summary": registry.summary,
+        }[kind]
+        factory(name, help_text)
+    return registry.render()
+
+
+class TestMetrics:
+    def test_full_fleet_exposition_validates(self):
+        assert validate_exposition(_full_exposition()) == []
+
+    def test_missing_metric_is_reported(self):
+        text = _full_exposition().replace("repro_fleet_uptime_seconds", "repro_other")
+        problems = validate_exposition(text)
+        assert any("repro_fleet_uptime_seconds" in p for p in problems)
+
+    def test_non_numeric_sample_is_reported(self):
+        text = _full_exposition() + "\nrepro_fleet_workers_total NaNish\n"
+        assert validate_exposition(text) != []
+
+    def test_counter_labels_and_values(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("demo_total", "demo")
+        counter.inc(worker="0")
+        counter.inc(2, worker="0")
+        counter.inc(worker='ba"d\\label')
+        assert counter.value(worker="0") == 3
+        rendered = registry.render()
+        assert 'demo_total{worker="0"} 3' in rendered
+        assert '\\"' in rendered and "\\\\" in rendered
+
+    def test_summary_quantiles_count_and_sum(self):
+        registry = MetricsRegistry()
+        summary = registry.summary("lat_seconds", "latency")
+        for value in [0.1, 0.2, 0.3, 0.4]:
+            summary.observe(value)
+        rendered = registry.render()
+        assert 'lat_seconds{quantile="0.5"}' in rendered
+        assert "lat_seconds_count 4" in rendered
+        assert summary.count == 4
+
+    def test_cli_gate_exit_codes(self, tmp_path):
+        good = tmp_path / "good.txt"
+        good.write_text(_full_exposition(), encoding="utf-8")
+        assert metrics_main([str(good)]) == 0
+        bad = tmp_path / "bad.txt"
+        bad.write_text("nope 1\n", encoding="utf-8")
+        assert metrics_main([str(bad)]) == 1
+        assert metrics_main([str(tmp_path / "absent.txt")]) == 2
+
+
+# --------------------------------------------------------------------------- #
+# Client retry loop (fast)
+# --------------------------------------------------------------------------- #
+
+
+class TestClientRetries:
+    def _client_with_script(self, monkeypatch, outcomes: list) -> tuple[ServiceClient, list]:
+        client = ServiceClient("http://127.0.0.1:1", retries=2, retry_backoff_seconds=0.0)
+        calls = []
+
+        def fake_once(method, path, payload):
+            calls.append((method, path))
+            outcome = outcomes[min(len(calls), len(outcomes)) - 1]
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        monkeypatch.setattr(client, "_request_once", fake_once)
+        return client, calls
+
+    def test_retries_connection_failures_then_succeeds(self, monkeypatch):
+        client, calls = self._client_with_script(
+            monkeypatch, [ServiceError(0, "refused"), {"ok": True}]
+        )
+        assert client.request("POST", "/compile", {})["ok"] is True
+        assert len(calls) == 2
+
+    def test_retries_503_then_succeeds(self, monkeypatch):
+        client, calls = self._client_with_script(
+            monkeypatch, [ServiceError(503, "draining"), {"ok": True}]
+        )
+        assert client.request("POST", "/compile", {})["ok"] is True
+        assert len(calls) == 2
+
+    def test_does_not_retry_terminal_http_errors(self, monkeypatch):
+        client, calls = self._client_with_script(
+            monkeypatch, [ServiceError(400, "bad job")]
+        )
+        with pytest.raises(ServiceError):
+            client.request("POST", "/compile", {})
+        assert len(calls) == 1
+
+    def test_raises_after_retries_exhausted(self, monkeypatch):
+        failure = ServiceError(0, "refused")
+        client, calls = self._client_with_script(monkeypatch, [failure])
+        with pytest.raises(ServiceError):
+            client.request("GET", "/healthz")
+        assert len(calls) == 3  # 1 try + 2 retries
+
+    def test_retryable_statuses_are_connection_and_503(self):
+        assert set(RETRYABLE_STATUSES) == {0, 503}
+
+
+# --------------------------------------------------------------------------- #
+# Multi-process fleet (slow; CI fleet-smoke territory)
+# --------------------------------------------------------------------------- #
+
+
+def _get_text(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.read().decode("utf-8")
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    """A real 2-worker fleet shared by the read-mostly slow tests."""
+    base = tmp_path_factory.mktemp("fleet")
+    server, supervisor, _ = start_fleet(
+        2,
+        cache_dir=str(base / "cache"),
+        journal_path=str(base / "journal.jsonl"),
+        heartbeat_seconds=0.2,
+    )
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}"
+    client = ServiceClient(url, timeout=120.0, retries=1)
+    yield {"server": server, "supervisor": supervisor, "url": url, "client": client}
+    supervisor.stop()
+    server.shutdown()
+    server.server_close()
+
+
+def _wait_for(predicate, timeout: float = 20.0, period: float = 0.1) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(period)
+    return predicate()
+
+
+@pytest.mark.slow
+class TestFleetEndToEnd:
+    def test_compile_routes_consistently(self, fleet):
+        payload = {"family": "lattice", "size": 8, "seed": 2, "kind": "compile"}
+        first = fleet["client"].compile_payload(payload)
+        second = fleet["client"].compile_payload(payload)
+        assert first["ok"] and second["ok"]
+        assert first["worker"] == second["worker"]
+        assert first["request_id"] and second["request_id"]
+        expected = rendezvous_order(
+            BatchJob.from_dict(payload).content_hash, [0, 1]
+        )[0]
+        assert first["worker"] == expected
+
+    def test_healthz_rolls_up_workers(self, fleet):
+        body = fleet["client"].healthz()
+        assert body["role"] == "fleet"
+        assert body["num_workers"] == 2
+        states = {w["index"]: w for w in body["workers"]}
+        assert set(states) == {0, 1}
+        assert all(w["pid"] for w in body["workers"])
+        assert body["journal"]["enabled"] is True
+
+    def test_metrics_exposition_is_complete(self, fleet):
+        text = _get_text(fleet["url"] + "/metrics")
+        assert validate_exposition(text) == []
+        assert "repro_fleet_workers_total 2" in text
+
+    def test_batch_forwarding_and_status_routing(self, fleet):
+        job_id = fleet["client"].submit_batch(
+            [{"family": "ghz", "size": 5, "kind": "compile"}]
+        )
+        assert "-" in job_id  # worker-index prefix
+        body = fleet["client"].wait_for_batch(job_id, timeout=120.0)
+        assert body["status"] == "done"
+        assert body["job_id"] == job_id
+
+    def test_worker_crash_reroutes_and_restarts(self, fleet):
+        supervisor = fleet["supervisor"]
+        payload = {"family": "lattice", "size": 8, "seed": 7, "kind": "compile"}
+        first = fleet["client"].compile_payload(payload)
+        victim = next(w for w in supervisor.workers if w.index == first["worker"])
+        old_pid = victim.pid
+        os.kill(old_pid, signal.SIGKILL)
+
+        # The very next identical request must still succeed (re-routed to
+        # the survivor or served after the restart) with zero client errors.
+        second = fleet["client"].compile_payload(payload)
+        assert second["ok"] is True
+
+        assert _wait_for(lambda: victim.state == HEALTHY and victim.pid != old_pid)
+        assert victim.restarts >= 1
+
+        # Routing is stable across the restart: identity is the index.
+        third = fleet["client"].compile_payload(payload)
+        assert third["worker"] == first["worker"]
+
+
+@pytest.mark.slow
+class TestJournalReplay:
+    def test_unfinished_entries_replay_into_the_cache(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        payload = {"family": "ghz", "size": 6, "seed": 3, "kind": "compile"}
+        content_hash = BatchJob.from_dict(payload).content_hash
+        journal = PendingJournal(journal_path)
+        journal.record_pending("replay-me", payload, content_hash)
+        journal.record_attempt("replay-me", 0)
+        journal.close()
+
+        server, supervisor, _ = start_fleet(
+            2,
+            cache_dir=str(tmp_path / "cache"),
+            journal_path=str(journal_path),
+            heartbeat_seconds=0.2,
+        )
+        try:
+            assert _wait_for(
+                lambda: PendingJournal.load_unfinished(journal_path) == [],
+                timeout=120.0,
+            )
+            text = _get_text(
+                f"http://{server.server_address[0]}:{server.server_address[1]}/metrics"
+            )
+            assert "repro_fleet_journal_replayed_total 1" in text
+            # The replayed result landed in the shared cache: re-asking is a hit.
+            host, port = server.server_address[:2]
+            body = ServiceClient(f"http://{host}:{port}").compile_payload(payload)
+            assert body["ok"] is True
+            assert body["cache_hit"] is True
+        finally:
+            supervisor.stop()
+            server.shutdown()
+            server.server_close()
+
+
+@pytest.mark.slow
+class TestDrain:
+    def test_drain_under_load_finishes_inflight_then_rejects(self, tmp_path):
+        server, supervisor, _ = start_fleet(
+            2,
+            journal_path=str(tmp_path / "journal.jsonl"),
+            heartbeat_seconds=0.2,
+        )
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        results: list[dict] = []
+        errors: list[Exception] = []
+
+        def one_request(seed: int) -> None:
+            try:
+                results.append(
+                    ServiceClient(url, timeout=120.0).compile_payload(
+                        {"family": "lattice", "size": 10, "seed": seed,
+                         "kind": "compile"}
+                    )
+                )
+            except ServiceError as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=one_request, args=(seed,)) for seed in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        # Let every request reach the front end, then drain mid-flight (a
+        # drain racing ahead of acceptance would 503 the stragglers, which
+        # is correct behaviour but not what this test is about).
+        assert _wait_for(lambda: supervisor.inflight == 4, timeout=10.0, period=0.01)
+        clean = server.drain_and_shutdown(timeout=120.0)
+        for thread in threads:
+            thread.join(timeout=120.0)
+        try:
+            assert clean is True
+            assert not errors
+            assert len(results) == 4 and all(r["ok"] for r in results)
+            assert supervisor.inflight == 0
+            with pytest.raises(FleetDrainingError):
+                supervisor.dispatch(
+                    {"family": "ghz", "size": 4, "kind": "compile"}
+                )
+            # The journal was compacted on the clean drain: nothing pending.
+            assert PendingJournal.load_unfinished(tmp_path / "journal.jsonl") == []
+        finally:
+            server.server_close()
+
+
+@pytest.mark.slow
+class TestLoadgenFaultInjection:
+    def test_kill_worker_mid_load_loses_no_requests(self, tmp_path):
+        server, supervisor, _ = start_fleet(
+            3,
+            journal_path=str(tmp_path / "journal.jsonl"),
+            heartbeat_seconds=0.2,
+        )
+        host, port = server.server_address[:2]
+        try:
+            payloads = [
+                {"family": "lattice", "size": 8, "seed": seed, "kind": "compile"}
+                for seed in range(6)
+            ]
+            report = run_loadgen(
+                f"http://{host}:{port}",
+                payloads,
+                requests=18,
+                concurrency=4,
+                retries=2,
+                kill_worker_after=4,
+            )
+            assert report.killed_worker_pid is not None
+            assert report.errors == 0
+            assert report.requests == 18
+        finally:
+            supervisor.stop()
+            server.shutdown()
+            server.server_close()
+
+    def test_kill_worker_requires_a_fleet(self, tmp_path):
+        from repro.service.server import start_server
+
+        server, _ = start_server(batch_window_seconds=0.01)
+        host, port = server.server_address[:2]
+        try:
+            report = run_loadgen(
+                f"http://{host}:{port}",
+                [{"family": "ghz", "size": 4, "kind": "compile"}],
+                requests=3,
+                concurrency=1,
+                kill_worker_after=0,
+            )
+            assert report.errors >= 1
+            assert any("fleet front end" in e for e in report.first_errors)
+        finally:
+            server.shutdown()
+            server.server_close()
