@@ -26,7 +26,12 @@ Environment knobs (used by the CI smoke job to keep runtimes tiny):
   assertion only applies from 256 qubits up);
 * ``REPRO_BENCH_CACHE_QUBITS`` — lattice size for the cold-vs-warm
   subgraph-compile-cache case (default ``128``; the warm-speedup floor only
-  applies from 128 qubits up — the nonzero-hit-rate assertion always does).
+  applies from 128 qubits up — the nonzero-hit-rate assertion always does);
+* ``REPRO_BENCH_PORTFOLIO_QUBITS`` — graph size for the anytime-portfolio
+  case (default ``16``);
+* ``REPRO_BENCH_PORTFOLIO_DEADLINES_MS`` — comma-separated deadline grid for
+  the anytime-portfolio case (default ``50,500,5000``; the monotone-quality
+  and zero-miss-at-the-top assertions always apply).
 """
 
 from __future__ import annotations
@@ -57,6 +62,11 @@ KERNEL_QUBITS = int(os.environ.get("REPRO_BENCH_KERNEL_QUBITS", "512"))
 HEIGHT_QUBITS = int(os.environ.get("REPRO_BENCH_HEIGHT_QUBITS", "256"))
 COMPILE_QUBITS = int(os.environ.get("REPRO_BENCH_COMPILE_QUBITS", "256"))
 CACHE_QUBITS = int(os.environ.get("REPRO_BENCH_CACHE_QUBITS", "128"))
+PORTFOLIO_QUBITS = int(os.environ.get("REPRO_BENCH_PORTFOLIO_QUBITS", "16"))
+PORTFOLIO_DEADLINES_MS = tuple(
+    float(d)
+    for d in _env_sizes("REPRO_BENCH_PORTFOLIO_DEADLINES_MS", (50, 500, 5000))
+)
 
 #: Assert the packed backend is at least this many times faster (only at
 #: KERNEL_QUBITS >= 256; generous vs the typical 3-6x to absorb CI noise).
@@ -326,3 +336,66 @@ def test_subgraph_cache_warm_speedup(benchmark):
     assert stats["hit_rate"] > 0.0
     if CACHE_QUBITS >= 128:
         assert speedup >= MIN_CACHE_SPEEDUP
+
+
+# --------------------------------------------------------------------------- #
+# Anytime portfolio: quality vs deadline
+# --------------------------------------------------------------------------- #
+
+
+def test_portfolio_anytime_quality(benchmark):
+    """Quality-vs-deadline curves of the anytime portfolio compiler.
+
+    For every zoo family in the portfolio bench, the replayed anytime curve
+    must be monotonically non-degrading as the deadline grows, every point
+    must be at least as good as the natural-order rung (the portfolio's
+    quality floor), and the live compile at the most generous deadline must
+    finish inside it (p99-respects-deadline material at CI scale).
+    """
+    from repro.evaluation.perf import run_portfolio_bench
+
+    def measure():
+        return run_portfolio_bench(
+            sizes=(PORTFOLIO_QUBITS,), deadlines_ms=PORTFOLIO_DEADLINES_MS
+        )
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    assert rows
+    for row in rows:
+        curve = row["anytime_curve"]
+        assert len(curve) == len(PORTFOLIO_DEADLINES_MS)
+        natural = next(r for r in row["rungs"] if r["name"] == "natural")
+        natural_quality = tuple(natural["quality"])
+
+        def key(point):
+            q = point["quality"]
+            return (
+                q["num_emitter_emitter_cnots"],
+                q["average_photon_loss_duration"],
+                q["duration"],
+            )
+
+        qualities = [key(point) for point in curve]
+        for tighter, looser in zip(qualities, qualities[1:]):
+            assert looser <= tighter, (
+                f"{row['family']}: quality degraded as the deadline grew: "
+                f"{tighter} -> {looser}"
+            )
+        for point, quality in zip(curve, qualities):
+            assert quality <= natural_quality, (
+                f"{row['family']} @ {point['deadline_ms']:g} ms: worse than "
+                f"the natural baseline"
+            )
+        top = row["live"][-1]
+        print(
+            f"portfolio {row['family']} @ {row['num_vertices']} vertices: "
+            f"winner {top['winner']!r} in {top['seconds_elapsed']:.3f}s "
+            f"at {top['deadline_ms']:g} ms "
+            f"({len(curve)} deadline points, {row['num_rungs']} rungs)"
+        )
+        assert not top["deadline_missed"], (
+            f"{row['family']}: missed the most generous deadline "
+            f"({top['deadline_ms']:g} ms, took {top['seconds_elapsed']:.3f}s)"
+        )
+    benchmark.extra_info["portfolio_families"] = [row["family"] for row in rows]

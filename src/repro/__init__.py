@@ -89,6 +89,7 @@ from repro.circuit.validation import (
 from repro.core.compiler import CompilationResult, EmitterCompiler, compile_graph
 from repro.core.config import CompilerConfig
 from repro.core.ordering import OrderingResult, optimize_emission_ordering
+from repro.core.portfolio import PortfolioCompiler, PortfolioResult, compile_anytime
 from repro.graphs.entanglement import cut_rank, height_function, minimum_emitters
 from repro.graphs.generators import (
     benchmark_graph,
@@ -132,7 +133,7 @@ from repro.utils.backend import (
     use_backend,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",
@@ -149,6 +150,7 @@ __all__ = [
     "verify_circuit_generates",
     "CompilationResult",
     "EmitterCompiler",
+    "compile_anytime",
     "compile_graph",
     "CompilerConfig",
     "OrderingResult",
@@ -176,6 +178,8 @@ __all__ = [
     "GraphState",
     "CutRankEngine",
     "PhotonLossModel",
+    "PortfolioCompiler",
+    "PortfolioResult",
     "HardwareModel",
     "get_hardware_model",
     "nv_center",

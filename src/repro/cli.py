@@ -37,7 +37,10 @@ Examples::
     repro loadgen --url http://127.0.0.1:8765 --requests 36 --kill-worker-after 6
     repro loadgen --self-serve --cache-dir .repro-service-cache --requests 40
     repro loadgen --self-serve --self-serve-workers 3 --requests 36
+    repro loadgen --self-serve --deadline-ms 2000 --max-deadline-miss-rate 0.1
+    repro compile --family random --size 24 --deadline-ms 500
     repro bench --sizes 64 128 256 --compile-sizes 32 64 128 --output BENCH_emitters.json
+    repro bench --portfolio-sizes 16 24 --portfolio-deadlines-ms 50 500 5000
     repro bench --cache-sizes 128 256 --output BENCH_emitters.json
 
 Every subcommand exits with its own non-zero code on failure so scripts can
@@ -61,7 +64,7 @@ from repro.evaluation import figures
 from repro.evaluation.report import render_table
 from repro.core.ordering import ORDERING_STRATEGIES
 from repro.graphs.generators import benchmark_graph
-from repro.pipeline.jobs import GRAPH_FAMILIES, JOB_KINDS
+from repro.pipeline.jobs import GRAPH_FAMILIES, JOB_KINDS, PRIORITY_CLASSES
 from repro.pipeline.runner import BatchRunner
 from repro.utils.backend import BACKENDS
 
@@ -155,6 +158,20 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(ORDERING_STRATEGIES),
         default=None,
         help="emission-ordering search strategy (default: natural order)",
+    )
+    compile_parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="anytime portfolio compilation: return the verified best result "
+        "within this wall-clock deadline and print the decision trace",
+    )
+    compile_parser.add_argument(
+        "--portfolio-budget",
+        type=int,
+        default=None,
+        help="anytime portfolio compilation with a deterministic step budget "
+        "(run exactly the first N strategy rungs instead of a wall clock)",
     )
     compile_parser.add_argument(
         "--baseline", action="store_true", help="also compile with the baseline"
@@ -398,6 +415,28 @@ def build_parser() -> argparse.ArgumentParser:
         "end; the run must still finish with zero errors)",
     )
     loadgen_parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="attach this anytime-compilation deadline to every request "
+        "(routes the server through the portfolio compiler and reports the "
+        "deadline-miss rate and served quality)",
+    )
+    loadgen_parser.add_argument(
+        "--priority",
+        choices=list(PRIORITY_CLASSES),
+        default=None,
+        help="admission-control priority class for every request "
+        "(only meaningful with --deadline-ms)",
+    )
+    loadgen_parser.add_argument(
+        "--max-deadline-miss-rate",
+        type=float,
+        default=None,
+        help="fail (exit 7) when the observed deadline-miss rate is higher; "
+        "requires --deadline-ms",
+    )
+    loadgen_parser.add_argument(
         "--min-cache-hit-rate",
         type=float,
         default=None,
@@ -442,6 +481,23 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 128 256; pass with no values to skip the section)",
     )
     bench_parser.add_argument(
+        "--portfolio-sizes",
+        type=int,
+        nargs="*",
+        default=None,
+        help="graph sizes for the anytime-portfolio section (deadline sweep "
+        "over the zoo families; default: 16 24; pass with no values to "
+        "skip the section)",
+    )
+    bench_parser.add_argument(
+        "--portfolio-deadlines-ms",
+        type=float,
+        nargs="+",
+        default=None,
+        help="deadline grid for the portfolio section in milliseconds "
+        "(default: 50 200 1000 5000)",
+    )
+    bench_parser.add_argument(
         "--repeats", type=int, default=3, help="timing repetitions per point"
     )
     bench_parser.add_argument(
@@ -469,8 +525,43 @@ def _run_compile(args: argparse.Namespace) -> int:
     config = fast_config(
         emitter_limit_factor=args.emitter_factor, verify=args.verify
     ).with_overrides(**overrides)
-    result = EmitterCompiler(config).compile(graph)
+    portfolio = None
+    if args.deadline_ms is not None or args.portfolio_budget is not None:
+        from repro.core.portfolio import PortfolioCompiler
+
+        portfolio = PortfolioCompiler(config).compile(
+            graph,
+            deadline_ms=args.deadline_ms,
+            budget=args.portfolio_budget,
+            family=args.family,
+        )
+        result = portfolio.result
+    else:
+        result = EmitterCompiler(config).compile(graph)
     print(f"graph: {args.family} with {graph.num_vertices} qubits, {graph.num_edges} edges")
+    if portfolio is not None:
+        missed = "MISSED" if portfolio.deadline_missed else "met"
+        budget_note = (
+            f"deadline {args.deadline_ms:g} ms ({missed})"
+            if args.deadline_ms is not None
+            else f"budget {args.portfolio_budget} rungs"
+        )
+        print(
+            f"portfolio: winner {portfolio.winner!r} after "
+            f"{portfolio.elapsed_seconds:.3f}s  [{budget_note}]"
+        )
+        for outcome in portfolio.outcomes:
+            record = outcome.as_record()
+            quality = record["quality"]
+            quality_note = (
+                "pending"
+                if quality is None
+                else f"cnots={quality[0]:g} loss={quality[1]:.3f} dur={quality[2]:g}"
+            )
+            print(
+                f"  rung {record['name']}: {record['status']}  {quality_note}"
+                f"  ({record['reason']})"
+            )
     print("framework result:")
     for key, value in sorted(result.summary().items()):
         print(f"  {key}: {value}")
@@ -660,8 +751,19 @@ def _run_loadgen(args: argparse.Namespace) -> int:
     if bool(args.url) == bool(args.self_serve):
         print("loadgen: pass exactly one of --url or --self-serve", file=sys.stderr)
         return EXIT_LOADGEN
+    if args.max_deadline_miss_rate is not None and args.deadline_ms is None:
+        print(
+            "loadgen: --max-deadline-miss-rate requires --deadline-ms",
+            file=sys.stderr,
+        )
+        return EXIT_LOADGEN
     payloads = workload_payloads(
-        args.families, args.sizes, seeds=args.seeds, kind=args.kind
+        args.families,
+        args.sizes,
+        seeds=args.seeds,
+        kind=args.kind,
+        deadline_ms=args.deadline_ms,
+        priority=args.priority,
     )
     server = None
     supervisor = None
@@ -717,6 +819,16 @@ def _run_loadgen(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return EXIT_LOADGEN
+    if (
+        args.max_deadline_miss_rate is not None
+        and report.deadline_miss_rate > args.max_deadline_miss_rate
+    ):
+        print(
+            f"loadgen: deadline-miss rate {report.deadline_miss_rate:.2f} above "
+            f"allowed {args.max_deadline_miss_rate:.2f}",
+            file=sys.stderr,
+        )
+        return EXIT_LOADGEN
     return EXIT_OK
 
 
@@ -725,6 +837,8 @@ def _run_bench(args: argparse.Namespace) -> int:
         DEFAULT_BENCH_SIZES,
         DEFAULT_CACHE_SIZES,
         DEFAULT_COMPILE_SIZES,
+        DEFAULT_PORTFOLIO_DEADLINES_MS,
+        DEFAULT_PORTFOLIO_SIZES,
         write_bench_file,
     )
 
@@ -739,6 +853,16 @@ def _run_bench(args: argparse.Namespace) -> int:
         if args.cache_sizes is not None
         else DEFAULT_CACHE_SIZES
     )
+    portfolio_sizes = (
+        tuple(args.portfolio_sizes)
+        if args.portfolio_sizes is not None
+        else DEFAULT_PORTFOLIO_SIZES
+    )
+    portfolio_deadlines = (
+        tuple(args.portfolio_deadlines_ms)
+        if args.portfolio_deadlines_ms is not None
+        else DEFAULT_PORTFOLIO_DEADLINES_MS
+    )
     record = write_bench_file(
         args.output,
         sizes=sizes,
@@ -747,6 +871,8 @@ def _run_bench(args: argparse.Namespace) -> int:
         backend=args.backend,
         compile_sizes=compile_sizes,
         cache_sizes=cache_sizes,
+        portfolio_sizes=portfolio_sizes,
+        portfolio_deadlines_ms=portfolio_deadlines,
     )
     print("height function (naive per-prefix vs incremental engine):")
     print(
@@ -806,6 +932,25 @@ def _run_bench(args: argparse.Namespace) -> int:
                         f"{row['warm_hit_rate']:.2f}",
                     ]
                     for row in record["cache_results"]
+                ],
+            )
+        )
+    if record["portfolio_results"]:
+        print("anytime portfolio (best quality within each deadline):")
+        print(
+            render_table(
+                ["family", "vertices", "deadline_ms", "rungs", "ee_cnots", "duration"],
+                [
+                    [
+                        row["family"],
+                        row["num_vertices"],
+                        f"{point['deadline_ms']:g}",
+                        point["rungs_run"],
+                        f"{point['quality']['num_emitter_emitter_cnots']:g}",
+                        f"{point['quality']['duration']:g}",
+                    ]
+                    for row in record["portfolio_results"]
+                    for point in row["anytime_curve"]
                 ],
             )
         )

@@ -64,6 +64,18 @@ class CompilerConfig:
             again.
         subgraph_cache_size: capacity of the process-wide compile cache (the
             shared cache grows to the largest request it has seen).
+        deadline_ms: anytime-compilation wall-clock deadline in milliseconds
+            for :mod:`repro.core.portfolio`: the portfolio compiler returns
+            its verified best-so-far once the deadline is reached (the
+            cheapest rung always runs, so a result is always produced).
+            ``None`` disables the deadline.  Ignored by the plain
+            :class:`~repro.core.compiler.EmitterCompiler`.
+        portfolio_budget: step-counted anytime budget — the maximum number of
+            portfolio rungs (candidate configurations) evaluated, regardless
+            of wall-clock time.  Deterministic, so it is the budget of choice
+            for tests and reproducible experiments; ``None`` leaves the rung
+            count to ``deadline_ms`` (or runs every rung when neither is
+            set).  Ignored by the plain compiler.
         verify: re-simulate compiled circuits on the stabilizer tableau.
         gf2_backend: GF(2)/tableau kernel backend pinned for the whole
             compilation (``"dense"`` or ``"packed"``); ``None`` keeps the
@@ -88,6 +100,8 @@ class CompilerConfig:
     use_twin_rule: bool = True
     subgraph_cache: bool = True
     subgraph_cache_size: int = 4096
+    deadline_ms: float | None = None
+    portfolio_budget: int | None = None
     verify: bool = False
     gf2_backend: str | None = None
     hardware: HardwareModel = field(default_factory=quantum_dot)
@@ -122,6 +136,12 @@ class CompilerConfig:
             raise ValueError("ordering_iterations must be >= 1")
         if self.subgraph_cache_size < 1:
             raise ValueError("subgraph_cache_size must be >= 1")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {self.deadline_ms}")
+        if self.portfolio_budget is not None and self.portfolio_budget < 1:
+            raise ValueError(
+                f"portfolio_budget must be >= 1, got {self.portfolio_budget}"
+            )
         if self.scheduling_policy not in ("asap", "alap"):
             raise ValueError("scheduling_policy must be 'asap' or 'alap'")
         if self.gf2_backend is not None and self.gf2_backend not in BACKENDS:

@@ -1,6 +1,6 @@
 """Perf-trajectory benchmark behind ``repro bench``.
 
-Three sections pin the compiler's perf trajectory:
+Four sections pin the compiler's perf trajectory:
 
 * **height function** — the naive from-scratch evaluation (one rank solve
   per prefix, the historical implementation) against the incremental
@@ -16,7 +16,12 @@ Three sections pin the compiler's perf trajectory:
   repeated-leaf zoo families (lattice / rotated surface code / random
   regular): uncached, empty-cache and warm-cache timings plus the hit
   rate, checking that warm circuits are bit-identical to uncached ones and
-  still verify on the stabilizer simulator.
+  still verify on the stabilizer simulator;
+* **anytime portfolio** — quality-vs-deadline curves of the
+  :class:`repro.core.portfolio.PortfolioCompiler` across zoo families: each
+  strategy rung timed once and replayed against a deadline grid (the curve
+  is monotone by construction — the CI gate), plus live deadline-bounded
+  compiles recording elapsed time and deadline misses.
 
 ``repro bench`` writes the result to ``BENCH_emitters.json`` so future PRs
 (and the CI bench-smoke artifact) can diff the numbers instead of guessing.
@@ -44,11 +49,15 @@ __all__ = [
     "DEFAULT_BENCH_SIZES",
     "DEFAULT_CACHE_SIZES",
     "DEFAULT_COMPILE_SIZES",
+    "DEFAULT_PORTFOLIO_DEADLINES_MS",
+    "DEFAULT_PORTFOLIO_SIZES",
+    "PORTFOLIO_BENCH_FAMILIES",
     "bench_graph",
     "naive_height_function",
     "run_cache_bench",
     "run_compile_bench",
     "run_emitter_bench",
+    "run_portfolio_bench",
     "write_bench_file",
 ]
 
@@ -69,6 +78,19 @@ DEFAULT_CACHE_SIZES = (128, 256)
 #: Repeated-leaf zoo families measured by the cache section: their
 #: partitions emit the same small subgraphs over and over up to relabeling.
 CACHE_BENCH_FAMILIES = ("lattice", "surface", "regular")
+
+#: Default sweep for the anytime-portfolio section (vertex counts; small
+#: enough that every rung — including the exact MIP — finishes quickly).
+DEFAULT_PORTFOLIO_SIZES = (16, 24)
+
+#: Default deadline grid for the anytime-portfolio section: from "barely
+#: the natural rung" to "the whole portfolio".
+DEFAULT_PORTFOLIO_DEADLINES_MS = (50.0, 200.0, 1000.0, 5000.0)
+
+#: Zoo families swept by the portfolio section — a dense random family, a
+#: structured rewired one, and a star-shaped family the selector halves the
+#: anneal budget for.
+PORTFOLIO_BENCH_FAMILIES = ("regular", "smallworld", "ghz")
 
 
 def bench_graph(num_vertices: int, seed: int = 2025) -> GraphState:
@@ -329,6 +351,126 @@ def run_cache_bench(
     return results
 
 
+def _quality_dict(quality) -> dict:
+    """The portfolio quality triple as a keyed JSON object."""
+    return {
+        "num_emitter_emitter_cnots": quality[0],
+        "average_photon_loss_duration": quality[1],
+        "duration": quality[2],
+    }
+
+
+def run_portfolio_bench(
+    sizes: Sequence[int] = DEFAULT_PORTFOLIO_SIZES,
+    deadlines_ms: Sequence[float] = DEFAULT_PORTFOLIO_DEADLINES_MS,
+    seed: int = 2025,
+    families: Sequence[str] = PORTFOLIO_BENCH_FAMILIES,
+) -> list[dict]:
+    """Anytime-portfolio quality vs deadline across zoo families.
+
+    For every ``(family, size)`` point the full portfolio is compiled once
+    with every rung timed individually, then the per-rung timings are
+    *replayed* against each deadline: a rung is counted as within budget
+    when the cumulative rung time still fits (rung 0, the natural order,
+    always runs — matching :class:`repro.core.portfolio.PortfolioCompiler`
+    semantics).  Because larger deadlines admit a superset of rungs and the
+    reported quality is the best over the admitted prefix, the replayed
+    ``anytime_curve`` is monotonically non-degrading by construction —
+    which is exactly the property the CI bench-smoke gate asserts, without
+    the noise of live wall clocks.
+
+    A second ``live`` sub-section then runs one *real* deadline-bounded
+    compile per grid point, recording the elapsed time and whether the
+    deadline was missed, so the record also shows actual anytime behaviour
+    (p99 / miss-rate material for the tracked ``BENCH_emitters.json``).
+
+    Parameters
+    ----------
+    sizes : Sequence[int], optional
+        Approximate vertex counts to sweep.
+    deadlines_ms : Sequence[float], optional
+        Deadline grid in milliseconds (swept in increasing order).
+    seed : int, optional
+        Recorded for provenance (the zoo specs are seeded internally).
+    families : Sequence[str], optional
+        Zoo families to measure.
+
+    Returns
+    -------
+    list[dict]
+        One JSON-serialisable entry per ``(family, size)`` point with
+        ``rungs``, ``anytime_curve`` and ``live`` sub-sections.
+    """
+    from repro.core.portfolio import PortfolioCompiler
+    from repro.evaluation.experiments import fast_config
+
+    grid = sorted(float(d) for d in deadlines_ms)
+    results = []
+    for size in sizes:
+        for family in families:
+            spec = _cache_bench_spec(family, int(size))
+            graph = spec.build()
+            config = fast_config()
+            full = PortfolioCompiler(config).compile(graph, family=family)
+
+            curve = []
+            for deadline in grid:
+                elapsed_ms = 0.0
+                admitted = 0
+                best = None
+                for index, outcome in enumerate(full.outcomes):
+                    cost_ms = outcome.seconds * 1000.0
+                    if index > 0 and elapsed_ms + cost_ms > deadline:
+                        break
+                    elapsed_ms += cost_ms
+                    admitted += 1
+                    if best is None or outcome.quality < best:
+                        best = outcome.quality
+                curve.append(
+                    {
+                        "deadline_ms": deadline,
+                        "rungs_run": admitted,
+                        "replay_ms": elapsed_ms,
+                        "quality": _quality_dict(best),
+                    }
+                )
+
+            live = []
+            for deadline in grid:
+                run = PortfolioCompiler(config).compile(
+                    graph, deadline_ms=deadline, family=family
+                )
+                live.append(
+                    {
+                        "deadline_ms": deadline,
+                        "winner": run.winner,
+                        "deadline_missed": run.deadline_missed,
+                        "seconds_elapsed": run.elapsed_seconds,
+                        "rungs_run": sum(
+                            1 for o in run.outcomes if o.status == "ran"
+                        ),
+                        "quality": _quality_dict(run.quality),
+                    }
+                )
+
+            results.append(
+                {
+                    "family": family,
+                    "size": int(size),
+                    "spec_size": spec.size,
+                    "num_vertices": graph.num_vertices,
+                    "num_edges": graph.num_edges,
+                    "seed": int(seed),
+                    "num_rungs": len(full.outcomes),
+                    "winner": full.winner,
+                    "rungs": [o.as_record() for o in full.outcomes],
+                    "anytime_curve": curve,
+                    "live": live,
+                }
+            )
+    return results
+
+
 def run_emitter_bench(
     sizes: Sequence[int] = DEFAULT_BENCH_SIZES,
     repeats: int = 3,
@@ -336,6 +478,8 @@ def run_emitter_bench(
     backend: str | None = None,
     compile_sizes: Sequence[int] = DEFAULT_COMPILE_SIZES,
     cache_sizes: Sequence[int] = DEFAULT_CACHE_SIZES,
+    portfolio_sizes: Sequence[int] = DEFAULT_PORTFOLIO_SIZES,
+    portfolio_deadlines_ms: Sequence[float] = DEFAULT_PORTFOLIO_DEADLINES_MS,
 ) -> dict:
     """Measure naive-vs-incremental height functions across ``sizes``.
 
@@ -355,6 +499,11 @@ def run_emitter_bench(
     cache_sizes : Sequence[int], optional
         Vertex counts for the subgraph-compile-cache section
         (:func:`run_cache_bench`); empty disables the section.
+    portfolio_sizes : Sequence[int], optional
+        Vertex counts for the anytime-portfolio section
+        (:func:`run_portfolio_bench`); empty disables the section.
+    portfolio_deadlines_ms : Sequence[float], optional
+        Deadline grid for the anytime-portfolio section.
 
     Returns
     -------
@@ -364,8 +513,10 @@ def run_emitter_bench(
         and incremental paths, the speedup, and the natural/greedy ordering
         peaks (the emitter counts the new ordering axis improves), a
         ``compile_results`` section with dense-vs-packed end-to-end
-        ``compile_graph`` medians per size, and a ``cache_results`` section
-        with cold-vs-warm compile-cache medians per zoo family and size.
+        ``compile_graph`` medians per size, a ``cache_results`` section
+        with cold-vs-warm compile-cache medians per zoo family and size,
+        and a ``portfolio_results`` section with anytime quality-vs-deadline
+        curves per zoo family and size.
     """
     resolved = resolve_backend(backend)
     results = []
@@ -413,6 +564,9 @@ def run_emitter_bench(
         sizes=compile_sizes, repeats=compile_repeats, seed=seed
     )
     cache_results = run_cache_bench(sizes=cache_sizes, repeats=compile_repeats)
+    portfolio_results = run_portfolio_bench(
+        sizes=portfolio_sizes, deadlines_ms=portfolio_deadlines_ms, seed=seed
+    )
     return {
         "benchmark": "emitters",
         "backend": resolved,
@@ -430,6 +584,10 @@ def run_emitter_bench(
         "cache_sizes": [int(s) for s in cache_sizes],
         "cache_families": list(CACHE_BENCH_FAMILIES),
         "cache_results": cache_results,
+        "portfolio_sizes": [int(s) for s in portfolio_sizes],
+        "portfolio_deadlines_ms": [float(d) for d in portfolio_deadlines_ms],
+        "portfolio_families": list(PORTFOLIO_BENCH_FAMILIES),
+        "portfolio_results": portfolio_results,
     }
 
 
@@ -441,6 +599,8 @@ def write_bench_file(
     backend: str | None = None,
     compile_sizes: Sequence[int] = DEFAULT_COMPILE_SIZES,
     cache_sizes: Sequence[int] = DEFAULT_CACHE_SIZES,
+    portfolio_sizes: Sequence[int] = DEFAULT_PORTFOLIO_SIZES,
+    portfolio_deadlines_ms: Sequence[float] = DEFAULT_PORTFOLIO_DEADLINES_MS,
 ) -> dict:
     """Run :func:`run_emitter_bench` and dump the record to ``path``."""
     record = run_emitter_bench(
@@ -450,6 +610,8 @@ def write_bench_file(
         backend=backend,
         compile_sizes=compile_sizes,
         cache_sizes=cache_sizes,
+        portfolio_sizes=portfolio_sizes,
+        portfolio_deadlines_ms=portfolio_deadlines_ms,
     )
     path = Path(path)
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")

@@ -84,6 +84,12 @@ GRAPH_FAMILIES = (
 
 JOB_KINDS = ("comparison", "compile", "duration", "lc_stem_edges")
 
+#: Admission/scheduling priority classes carried on the wire.  ``high``
+#: bypasses deadline admission control, ``normal`` is admitted when the
+#: estimated queue wait fits the deadline, ``low`` is rejected earlier
+#: (when the wait exceeds half the deadline).
+PRIORITY_CLASSES = ("high", "normal", "low")
+
 #: Bump when a change invalidates previously cached results (new metrics,
 #: changed semantics of an existing job kind, …).  v2: first-class
 #: ``ordering`` field (emission-ordering strategy) on every job.  v3: the
@@ -93,8 +99,11 @@ JOB_KINDS = ("comparison", "compile", "duration", "lc_stem_edges")
 #: v4: per-leaf ordering searches run in canonical space with a
 #: canonical-key-derived RNG (isomorphism-memoized subgraph compilation),
 #: which changes the winning orders — and hence circuits/metrics — of
-#: partitioned graphs.
-JOB_SCHEMA_VERSION = 4
+#: partitioned graphs.  v5: first-class ``deadline_ms``/``priority`` wire
+#: fields; deadline-bounded compile/comparison jobs run through the anytime
+#: portfolio compiler (:mod:`repro.core.portfolio`), which changes the
+#: winning circuit whenever a later rung beats the natural baseline.
+JOB_SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -202,6 +211,14 @@ class BatchJob:
         compiler-config default (``"natural"``).
     verify : bool, optional
         Re-simulate compiled circuits on the stabilizer tableau.
+    deadline_ms : float | None, optional
+        Anytime deadline in milliseconds: ``compile``/``comparison`` jobs
+        run the framework side through the portfolio compiler
+        (:mod:`repro.core.portfolio`), returning the verified best-so-far
+        at the deadline and recording a ``portfolio`` section.  The service
+        additionally applies admission control against this deadline.
+    priority : str, optional
+        One of :data:`PRIORITY_CLASSES` (admission-control class).
     config_overrides : tuple[tuple[str, object], ...], optional
         Extra :class:`repro.core.config.CompilerConfig` fields applied on top
         of the fast benchmark profile, as a sorted tuple of ``(name, value)``
@@ -215,12 +232,29 @@ class BatchJob:
     backend: str | None = None
     ordering: str | None = None
     verify: bool = False
+    deadline_ms: float | None = None
+    priority: str = "normal"
     config_overrides: tuple[tuple[str, object], ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
             raise ValueError(
                 f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}"
+            )
+        if self.deadline_ms is not None:
+            if self.deadline_ms <= 0:
+                raise ValueError(
+                    f"deadline_ms must be > 0, got {self.deadline_ms}"
+                )
+            if self.kind not in ("comparison", "compile"):
+                raise ValueError(
+                    "deadline_ms only applies to 'comparison'/'compile' jobs, "
+                    f"not {self.kind!r}"
+                )
+        if self.priority not in PRIORITY_CLASSES:
+            raise ValueError(
+                f"priority must be one of {PRIORITY_CLASSES}, "
+                f"got {self.priority!r}"
             )
         if self.backend is not None and self.backend not in BACKENDS:
             raise ValueError(
@@ -293,6 +327,8 @@ class BatchJob:
             "backend",
             "ordering",
             "verify",
+            "deadline_ms",
+            "priority",
             "config_overrides",
         }
         unknown = set(payload) - allowed
@@ -331,6 +367,10 @@ class BatchJob:
         )
         if self.ordering is not None:
             base += f"+{self.ordering}"
+        if self.deadline_ms is not None:
+            base += f"~{self.deadline_ms:g}ms"
+        if self.priority != "normal":
+            base += f"!{self.priority}"
         return base
 
 
@@ -352,6 +392,8 @@ def _job_config(job: BatchJob):
     overrides.setdefault("gf2_backend", job.backend)
     if job.ordering is not None:
         overrides.setdefault("ordering_strategy", job.ordering)
+    if job.deadline_ms is not None:
+        overrides.setdefault("deadline_ms", job.deadline_ms)
     return config.with_overrides(**overrides)
 
 
@@ -385,9 +427,22 @@ def run_job(job: BatchJob) -> dict:
     }
 
     if job.kind in ("comparison", "compile"):
-        ours, ours_seconds = _timed_compile(EmitterCompiler(config), graph)
-        record["ours"] = ours.summary()
-        record["seconds_ours"] = ours_seconds
+        if config.deadline_ms is not None or config.portfolio_budget is not None:
+            # Anytime path: race the portfolio rungs under the job's budget
+            # and record the winner plus the full anytime provenance.
+            from repro.core.portfolio import PortfolioCompiler
+
+            portfolio = PortfolioCompiler(config).compile(
+                graph, family=job.graph.family
+            )
+            ours = portfolio.result
+            record["ours"] = ours.summary()
+            record["seconds_ours"] = portfolio.elapsed_seconds
+            record["portfolio"] = portfolio.as_record()
+        else:
+            ours, ours_seconds = _timed_compile(EmitterCompiler(config), graph)
+            record["ours"] = ours.summary()
+            record["seconds_ours"] = ours_seconds
         if job.kind == "comparison":
             with use_backend(config.gf2_backend):
                 baseline, baseline_seconds = _timed_compile(

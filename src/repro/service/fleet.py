@@ -758,6 +758,8 @@ class FleetSupervisor:
             ins["repro_fleet_journal_pending"].set(self._inflight + self._replay_backlog)
         served = cache_hits = cache_misses = 0
         sub_hits = sub_misses = 0
+        deadline_requests = deadline_misses = admission_rejections = 0
+        refinement_improvements = 0
         for worker in self.workers:
             ins["repro_fleet_worker_up"].set(
                 1.0 if worker.state == HEALTHY else 0.0, worker=str(worker.index)
@@ -770,6 +772,13 @@ class FleetSupervisor:
             subgraph = body.get("subgraph_cache") or {}
             sub_hits += int(subgraph.get("hits", 0))
             sub_misses += int(subgraph.get("misses", 0))
+            portfolio = body.get("portfolio") or {}
+            deadline_requests += int(portfolio.get("deadline_requests", 0))
+            deadline_misses += int(portfolio.get("deadline_misses", 0))
+            admission_rejections += int(portfolio.get("admission_rejections", 0))
+            refinement_improvements += int(
+                portfolio.get("refinement_improvements", 0)
+            )
         ins["repro_fleet_worker_requests_served_total"].set_total(served)
         ins["repro_fleet_result_cache_hits_total"].set_total(cache_hits)
         ins["repro_fleet_result_cache_misses_total"].set_total(cache_misses)
@@ -778,6 +787,17 @@ class FleetSupervisor:
         total = sub_hits + sub_misses
         ins["repro_fleet_subgraph_cache_hit_rate"].set(
             sub_hits / total if total else 0.0
+        )
+        ins["repro_fleet_deadline_requests_total"].set_total(deadline_requests)
+        ins["repro_fleet_deadline_misses_total"].set_total(deadline_misses)
+        ins["repro_fleet_admission_rejections_total"].set_total(
+            admission_rejections
+        )
+        ins["repro_fleet_deadline_miss_rate"].set(
+            deadline_misses / deadline_requests if deadline_requests else 0.0
+        )
+        ins["repro_fleet_refinement_improvements_total"].set_total(
+            refinement_improvements
         )
         return self.registry.render()
 

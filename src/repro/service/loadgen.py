@@ -13,6 +13,13 @@ persistent cache directory), a *second* identical run is expected to be
 served almost entirely from cache — ``repro loadgen --min-cache-hit-rate``
 turns that expectation into a checkable exit code, which CI uses.
 
+Deadline-bounded workloads (``workload_payloads(deadline_ms=...)``) route the
+server through the anytime portfolio compiler; the report then additionally
+tracks the deadline-miss rate, admission-control rejections (HTTP 429, which
+are counted separately from failures) and the mean served quality, and
+``repro loadgen --max-deadline-miss-rate`` gates on the miss rate the same
+way ``--min-cache-hit-rate`` gates on caching.
+
 As a fault-injection harness, ``run_loadgen(kill_worker_after=K)`` SIGKILLs
 one healthy compile worker of a *fleet* front end (pids come from the
 fleet's ``/healthz`` roll-up) after K requests have completed — the CI
@@ -71,6 +78,8 @@ def workload_payloads(
     kind: str = "compile",
     emitter_limit_factor: float = 1.5,
     backend: str | None = None,
+    deadline_ms: float | None = None,
+    priority: str | None = None,
 ) -> list[dict]:
     """The cross product of families/sizes/seeds as ``/compile`` payloads.
 
@@ -88,6 +97,12 @@ def workload_payloads(
         The paper's ``N_e^limit / N_e^min`` knob.
     backend : str | None, optional
         Pin the GF(2) backend for every job (``None`` = server default).
+    deadline_ms : float | None, optional
+        Attach an anytime-compilation deadline to every payload, routing
+        the server through the portfolio compiler.
+    priority : str | None, optional
+        Admission-control priority class for every payload (``"high"``,
+        ``"normal"`` or ``"low"``; ``None`` = server default).
 
     Returns
     -------
@@ -105,6 +120,10 @@ def workload_payloads(
         }
         if backend is not None:
             payload["backend"] = backend
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if priority is not None:
+            payload["priority"] = priority
         payloads.append(payload)
     return payloads
 
@@ -123,6 +142,11 @@ class LoadReport:
     killed_worker_index: int | None = None
     killed_worker_pid: int | None = None
     killed_after_requests: int | None = None
+    deadline_requests: int = 0
+    deadline_misses: int = 0
+    admission_rejections: int = 0
+    quality_cnots: list[float] = field(default_factory=list)
+    quality_durations: list[float] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -144,6 +168,13 @@ class LoadReport:
             return 0.0
         return self.cache_hits / completed
 
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of deadline-bounded requests that returned late."""
+        if self.deadline_requests <= 0:
+            return 0.0
+        return self.deadline_misses / self.deadline_requests
+
     def latency_ms(self, q: float) -> float:
         """Latency percentile ``q`` in milliseconds (0 with no samples)."""
         if not self.latencies_seconds:
@@ -163,6 +194,19 @@ class LoadReport:
             "cache_hit_rate": self.cache_hit_rate,
             "coalesced": self.coalesced,
         }
+        if self.deadline_requests:
+            body["deadline_requests"] = self.deadline_requests
+            body["deadline_misses"] = self.deadline_misses
+            body["deadline_miss_rate"] = self.deadline_miss_rate
+        if self.admission_rejections:
+            body["admission_rejections"] = self.admission_rejections
+        if self.quality_cnots:
+            body["mean_emitter_cnots"] = sum(self.quality_cnots) / len(
+                self.quality_cnots
+            )
+            body["mean_duration"] = sum(self.quality_durations) / len(
+                self.quality_durations
+            )
         if self.killed_worker_pid is not None:
             body["killed_worker_index"] = self.killed_worker_index
             body["killed_worker_pid"] = self.killed_worker_pid
@@ -181,6 +225,21 @@ class LoadReport:
             f"cache hits:    {self.cache_hits} ({100.0 * self.cache_hit_rate:.1f}%)"
             f"  coalesced: {self.coalesced}",
         ]
+        if self.deadline_requests:
+            lines.append(
+                f"deadlines:     {self.deadline_misses}/{self.deadline_requests} "
+                f"missed ({100.0 * self.deadline_miss_rate:.1f}%)"
+                f"  rejected: {self.admission_rejections}"
+            )
+            if self.quality_cnots:
+                mean_cnots = sum(self.quality_cnots) / len(self.quality_cnots)
+                mean_duration = sum(self.quality_durations) / len(
+                    self.quality_durations
+                )
+                lines.append(
+                    f"quality:       {mean_cnots:.2f} mean emitter CNOTs, "
+                    f"{mean_duration:.2f} mean duration"
+                )
         if self.killed_worker_pid is not None:
             lines.append(
                 f"fault inject: SIGKILLed worker {self.killed_worker_index} "
@@ -284,22 +343,45 @@ def run_loadgen(
             payload = payloads[index % len(payloads)]
             started = time.perf_counter()
             error = None
+            rejected = False
             cache_hit = False
             coalesced = False
+            portfolio: dict = {}
             try:
                 body = client.compile_payload(payload)
                 cache_hit = bool(body.get("cache_hit"))
                 coalesced = bool(body.get("coalesced"))
+                portfolio = (body.get("result") or {}).get("portfolio") or {}
             except ServiceError as exc:
-                error = str(exc)
+                if exc.status == 429:
+                    # Admission control turned the request away on purpose;
+                    # count it separately instead of as a server failure.
+                    rejected = True
+                else:
+                    error = str(exc)
             latency = time.perf_counter() - started
             fire_kill = False
             with lock:
                 report.requests += 1
-                if error is None:
+                if rejected:
+                    report.admission_rejections += 1
+                elif error is None:
                     report.latencies_seconds.append(latency)
                     report.cache_hits += int(cache_hit)
                     report.coalesced += int(coalesced)
+                    if payload.get("deadline_ms") is not None:
+                        report.deadline_requests += 1
+                        report.deadline_misses += int(
+                            bool(portfolio.get("deadline_missed"))
+                        )
+                    quality = portfolio.get("quality") or {}
+                    if quality:
+                        report.quality_cnots.append(
+                            float(quality.get("num_emitter_emitter_cnots", 0.0))
+                        )
+                        report.quality_durations.append(
+                            float(quality.get("duration", 0.0))
+                        )
                 else:
                     report.errors += 1
                     if len(report.first_errors) < 3:

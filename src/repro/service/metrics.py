@@ -96,6 +96,21 @@ FLEET_METRICS: dict[str, tuple[str, str]] = {
         "counter", "Subgraph compile-cache misses rolled up from workers."
     ),
     "repro_fleet_subgraph_cache_hit_rate": ("gauge", "Fleet-wide subgraph compile-cache hit rate."),
+    "repro_fleet_deadline_requests_total": (
+        "counter", "Deadline-bounded compile requests rolled up from workers."
+    ),
+    "repro_fleet_deadline_misses_total": (
+        "counter", "Deadline-bounded requests that returned past their deadline."
+    ),
+    "repro_fleet_admission_rejections_total": (
+        "counter", "Requests rejected by deadline admission control."
+    ),
+    "repro_fleet_deadline_miss_rate": (
+        "gauge", "Fleet-wide deadline-miss rate over deadline-bounded requests."
+    ),
+    "repro_fleet_refinement_improvements_total": (
+        "counter", "Background portfolio refinements that beat the served result."
+    ),
 }
 
 

@@ -46,7 +46,9 @@ from repro.service.batcher import MicroBatcher
 __all__ = [
     "CompileService",
     "CompileServer",
+    "PRIORITY_ADMISSION_FACTORS",
     "ServiceBusyError",
+    "ServiceDeadlineError",
     "ServiceRequestError",
     "start_server",
 ]
@@ -58,6 +60,28 @@ class ServiceRequestError(ValueError):
 
 class ServiceBusyError(RuntimeError):
     """Backpressure: the async-batch queue is full (HTTP 429)."""
+
+
+class ServiceDeadlineError(ServiceBusyError):
+    """Admission control: the queue is too deep for the request's deadline.
+
+    A :class:`ServiceBusyError` subclass so it surfaces as HTTP 429 — the
+    request was *not* attempted, and retrying after the queue drains is
+    exactly the right client behaviour.
+    """
+
+
+#: How much of the deadline each priority class may spend waiting in the
+#: queue before admission control rejects the request.  ``None`` means the
+#: class bypasses admission control entirely.
+PRIORITY_ADMISSION_FACTORS: dict[str, float | None] = {
+    "high": None,
+    "normal": 1.0,
+    "low": 0.5,
+}
+
+#: EWMA smoothing for the compile-latency estimate behind admission control.
+_LATENCY_EWMA_ALPHA = 0.3
 
 
 def _outcome_payload(outcome: JobOutcome) -> dict:
@@ -123,6 +147,13 @@ class CompileService:
         through ``REPRO_SUBGRAPH_CACHE_DIR`` so process-pool workers
         (``max_workers > 1``) inherit it; the in-memory tier is always on
         (per worker process) unless jobs override ``subgraph_cache``.
+    background_refine : bool, optional
+        Hand the pending (budget-skipped) portfolio rungs of deadline
+        requests to the process-wide
+        :class:`repro.core.portfolio.BackgroundRefiner`, which compiles
+        them off the request path — warming the subgraph compile cache and
+        counting refinement improvements.  Disable for strictly
+        request-bounded CPU usage.
     """
 
     #: Async batches kept around for ``/status`` polling; beyond this cap the
@@ -141,6 +172,7 @@ class CompileService:
         batch_window_seconds: float = 0.02,
         max_batch: int = 32,
         subgraph_cache_dir: str | None = None,
+        background_refine: bool = True,
     ):
         if subgraph_cache_dir is not None:
             import os
@@ -159,9 +191,18 @@ class CompileService:
             self.runner, window_seconds=batch_window_seconds, max_batch=max_batch
         )
         self.started_at = time.time()
+        self.background_refine = bool(background_refine)
         self._batches: dict[str, _AsyncBatch] = {}
         self._lock = threading.Lock()
         self._requests_served = 0
+        # Anytime/deadline serving state: an EWMA of recent compile
+        # latencies times the in-flight depth estimates the queue wait that
+        # admission control checks against each request's deadline.
+        self._inflight_compiles = 0
+        self._ewma_compile_seconds: float | None = None
+        self._deadline_requests = 0
+        self._deadline_misses = 0
+        self._admission_rejections = 0
         self._closed = threading.Event()
         # One worker executes async batches sequentially: concurrent /batch
         # submissions queue up instead of spawning unbounded compile threads
@@ -191,12 +232,77 @@ class CompileService:
         -------
         dict
             The outcome body (``ok``/``cache_hit``/``result``/``error``).
+
+        Raises
+        ------
+        ServiceDeadlineError
+            When the request carries a ``deadline_ms`` that admission
+            control judges unmeetable at the current queue depth (HTTP
+            429; ``priority: "high"`` bypasses the check).
         """
         job = self._parse_job(payload)
-        outcome = self.batcher.submit(job)
+        if job.deadline_ms is not None:
+            self._admit_or_reject(job)
+        with self._lock:
+            self._inflight_compiles += 1
+        try:
+            outcome = self.batcher.submit(job)
+        finally:
+            with self._lock:
+                self._inflight_compiles -= 1
+        portfolio = (
+            (outcome.result or {}).get("portfolio") or {}
+            if outcome.ok
+            else {}
+        )
         with self._lock:
             self._requests_served += 1
+            if outcome.ok and not outcome.cache_hit:
+                sample = float(outcome.elapsed_seconds)
+                if self._ewma_compile_seconds is None:
+                    self._ewma_compile_seconds = sample
+                else:
+                    self._ewma_compile_seconds += _LATENCY_EWMA_ALPHA * (
+                        sample - self._ewma_compile_seconds
+                    )
+            if job.deadline_ms is not None:
+                self._deadline_requests += 1
+                if portfolio.get("deadline_missed"):
+                    self._deadline_misses += 1
+        pending = portfolio.get("pending_rungs") or []
+        if pending and self.background_refine and not self._closed.is_set():
+            from repro.core.portfolio import get_background_refiner
+
+            get_background_refiner().submit_job(
+                job, list(pending), portfolio.get("quality")
+            )
         return _outcome_payload(outcome)
+
+    def _admit_or_reject(self, job: BatchJob) -> None:
+        """Reject a deadline request the queue cannot meet (HTTP 429).
+
+        The wait estimate is deliberately conservative-cheap: EWMA of
+        recent uncached compile latencies times the number of in-flight
+        compiles.  ``high``-priority requests bypass the check; ``low``
+        ones are rejected once the wait exceeds half their deadline.
+        """
+        factor = PRIORITY_ADMISSION_FACTORS[job.priority]
+        if factor is None:
+            return
+        with self._lock:
+            ewma = self._ewma_compile_seconds
+            queued = self._inflight_compiles
+        if ewma is None or queued == 0:
+            return
+        estimated_wait_ms = queued * ewma * 1000.0
+        if estimated_wait_ms > float(job.deadline_ms) * factor:
+            with self._lock:
+                self._admission_rejections += 1
+            raise ServiceDeadlineError(
+                f"estimated queue wait {estimated_wait_ms:.0f} ms exceeds "
+                f"deadline_ms={job.deadline_ms:g} for priority "
+                f"{job.priority!r}; retry later"
+            )
 
     def submit_batch(self, payload: dict) -> dict:
         """Start a batch in the background and return its job id.
@@ -257,12 +363,21 @@ class CompileService:
 
         import repro
         from repro.core.compile_cache import peek_process_cache
+        from repro.core.portfolio import refinement_stats
 
         cache = self.runner.cache
         subgraph_cache = peek_process_cache()
         with self._lock:
             requests_served = self._requests_served
             num_batches = len(self._batches)
+            portfolio_block = {
+                "deadline_requests": self._deadline_requests,
+                "deadline_misses": self._deadline_misses,
+                "admission_rejections": self._admission_rejections,
+                "inflight_compiles": self._inflight_compiles,
+                "ewma_compile_seconds": self._ewma_compile_seconds,
+            }
+        portfolio_block.update(refinement_stats().as_dict())
         body = {
             "status": "ok",
             "version": repro.__version__,
@@ -278,6 +393,7 @@ class CompileService:
                 "entries": len(cache) if cache is not None else 0,
             },
             "subgraph_cache": {"enabled": subgraph_cache is not None},
+            "portfolio": portfolio_block,
         }
         if subgraph_cache is not None:
             body["subgraph_cache"].update(
@@ -524,6 +640,7 @@ def start_server(
     max_batch: int = 32,
     verbose: bool = False,
     subgraph_cache_dir: str | None = None,
+    background_refine: bool = True,
 ) -> tuple[CompileServer, threading.Thread]:
     """Build a service and serve it on a daemon thread (for tests/loadgen).
 
@@ -533,7 +650,8 @@ def start_server(
         Bind address; port ``0`` picks a free port.
     cache_dir : str | None
         Persistent result-cache directory (``None`` disables caching).
-    max_workers, batch_window_seconds, max_batch, subgraph_cache_dir
+    max_workers, batch_window_seconds, max_batch, subgraph_cache_dir,
+    background_refine
         Forwarded to :class:`CompileService`.
     verbose : bool
         Log requests to stderr.
@@ -550,6 +668,7 @@ def start_server(
         batch_window_seconds=batch_window_seconds,
         max_batch=max_batch,
         subgraph_cache_dir=subgraph_cache_dir,
+        background_refine=background_refine,
     )
     server = CompileServer((host, port), service, verbose=verbose)
     thread = threading.Thread(
