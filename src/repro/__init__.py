@@ -133,7 +133,7 @@ from repro.utils.backend import (
     use_backend,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "__version__",

@@ -38,6 +38,8 @@ Examples::
     repro loadgen --self-serve --cache-dir .repro-service-cache --requests 40
     repro loadgen --self-serve --self-serve-workers 3 --requests 36
     repro loadgen --self-serve --deadline-ms 2000 --max-deadline-miss-rate 0.1
+    repro loadgen --self-serve --self-serve-workers 2 --requests 24 \\
+        --fault-schedule tests/data/chaos_schedule.json --poison-seed 666
     repro compile --family random --size 24 --deadline-ms 500
     repro bench --sizes 64 128 256 --compile-sizes 32 64 128 --output BENCH_emitters.json
     repro bench --portfolio-sizes 16 24 --portfolio-deadlines-ms 50 500 5000
@@ -339,6 +341,29 @@ def build_parser() -> argparse.ArgumentParser:
         "workers inherit it; omit for a memory-only cache)",
     )
     serve_parser.add_argument(
+        "--compile-timeout-s",
+        type=float,
+        default=None,
+        help="per-compile wall-clock watchdog: a compile that produces no "
+        "outcome within this many seconds is answered as a structured "
+        "timeout (HTTP 504) instead of hanging the request",
+    )
+    serve_parser.add_argument(
+        "--max-job-attempts",
+        type=int,
+        default=3,
+        help="fleet mode: crashed dispatch attempts (summed across restarts "
+        "via the journal) before a request is quarantined as poisoned and "
+        "answered HTTP 422",
+    )
+    serve_parser.add_argument(
+        "--fault-schedule",
+        default=None,
+        help="deterministic fault injection: a JSON schedule (inline object "
+        "or a file path; also exported as REPRO_FAULT_SCHEDULE so fleet "
+        "workers inherit it) — see docs/operations.md",
+    )
+    serve_parser.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request"
     )
 
@@ -413,6 +438,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault injection: SIGKILL one compile worker of the target "
         "fleet after this many completed requests (requires a fleet front "
         "end; the run must still finish with zero errors)",
+    )
+    loadgen_parser.add_argument(
+        "--fault-schedule",
+        default=None,
+        help="deterministic fault injection: a JSON schedule (inline object "
+        "or a file path) installed before the run; with --self-serve the "
+        "schedule also reaches the spawned fleet workers via "
+        "REPRO_FAULT_SCHEDULE",
+    )
+    loadgen_parser.add_argument(
+        "--poison-seed",
+        type=int,
+        default=None,
+        help="chaos testing: send one extra payload (the first family/size "
+        "with this graph seed) as the final request; the run then requires "
+        "exactly one HTTP 422 poison quarantine to exit 0",
+    )
+    loadgen_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="scrape GET /metrics after the run (before a self-served fleet "
+        "shuts down) and write the exposition to this file",
     )
     loadgen_parser.add_argument(
         "--deadline-ms",
@@ -659,7 +706,25 @@ def _run_batch(args: argparse.Namespace) -> int:
     return EXIT_BATCH if report.num_errors else EXIT_OK
 
 
+def _install_fault_schedule(value: str) -> None:
+    """Parse and install a fault schedule, exporting it for child workers.
+
+    The value is validated eagerly (a malformed schedule fails the command
+    instead of being discovered mid-chaos-run) and exported as
+    ``REPRO_FAULT_SCHEDULE`` so spawned fleet workers inherit it.
+    """
+    import os
+
+    from repro.utils.faults import FaultSchedule, install_schedule
+
+    schedule = FaultSchedule.from_env_value(value)
+    os.environ["REPRO_FAULT_SCHEDULE"] = value
+    install_schedule(schedule)
+
+
 def _run_serve(args: argparse.Namespace) -> int:
+    if args.fault_schedule:
+        _install_fault_schedule(args.fault_schedule)
     if args.workers > 1:
         return _run_serve_fleet(args)
     return _run_serve_single(args)
@@ -677,6 +742,7 @@ def _run_serve_single(args: argparse.Namespace) -> int:
         batch_window_seconds=args.batch_window_ms / 1000.0,
         max_batch=args.max_batch,
         subgraph_cache_dir=args.subgraph_cache_dir,
+        compile_timeout_s=args.compile_timeout_s,
     )
     server = CompileServer((args.host, args.port), service, verbose=args.verbose)
     host, port = server.server_address[:2]
@@ -720,6 +786,8 @@ def _run_serve_fleet(args: argparse.Namespace) -> int:
         pool_workers=args.pool_workers,
         batch_window_ms=args.batch_window_ms,
         heartbeat_seconds=args.heartbeat_seconds,
+        max_job_attempts=args.max_job_attempts,
+        compile_timeout_s=args.compile_timeout_s,
     )
     supervisor.start()
     server = FleetServer((args.host, args.port), supervisor, verbose=args.verbose)
@@ -757,6 +825,8 @@ def _run_loadgen(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return EXIT_LOADGEN
+    if args.fault_schedule:
+        _install_fault_schedule(args.fault_schedule)
     payloads = workload_payloads(
         args.families,
         args.sizes,
@@ -765,6 +835,12 @@ def _run_loadgen(args: argparse.Namespace) -> int:
         deadline_ms=args.deadline_ms,
         priority=args.priority,
     )
+    poison_payload = None
+    if args.poison_seed is not None:
+        # One extra job, distinguishable from the mix by its seed: a crash
+        # rule matching "#<seed>" in the job label hits only this request.
+        poison_payload = dict(payloads[0])
+        poison_payload["seed"] = args.poison_seed
     server = None
     supervisor = None
     try:
@@ -795,7 +871,17 @@ def _run_loadgen(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             retries=args.retries,
             kill_worker_after=args.kill_worker_after,
+            poison_payload=poison_payload,
         )
+        if args.metrics_out:
+            # Scraped before the self-served instance shuts down; uses raw
+            # urllib because /metrics is a text exposition, not JSON.
+            from urllib.request import urlopen
+
+            with urlopen(f"{url}/metrics", timeout=args.timeout) as response:
+                exposition = response.read().decode("utf-8")
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(exposition)
     finally:
         if supervisor is not None:
             supervisor.stop()
@@ -803,11 +889,19 @@ def _run_loadgen(args: argparse.Namespace) -> int:
             server.shutdown()
             server.server_close()
     print(report.to_text())
+    if args.metrics_out:
+        print(f"wrote {args.metrics_out}")
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(report.summary(), handle, indent=2, sort_keys=True)
         print(f"wrote {args.json_path}")
     if not report.ok:
+        return EXIT_LOADGEN
+    if args.poison_seed is not None and report.poisoned != 1:
+        print(
+            f"loadgen: expected exactly 1 poisoned request, saw {report.poisoned}",
+            file=sys.stderr,
+        )
         return EXIT_LOADGEN
     if (
         args.min_cache_hit_rate is not None

@@ -287,6 +287,16 @@ class SubgraphCompileCache:
         with self._lock:
             self.capacity = max(self.capacity, int(capacity))
 
+    def disk_stats(self) -> dict | None:
+        """Disk-tier counters and breaker state (``None`` when memory-only).
+
+        Surfaces the corruption-quarantine and circuit-breaker counters of
+        the underlying :class:`repro.pipeline.cache.ResultCache`, so
+        ``/healthz`` can report a degraded (memory-only) subgraph tier.
+        """
+        disk = self._disk
+        return disk.stats() if disk is not None else None
+
     def attach_disk(self, disk_dir: str) -> None:
         """Attach (or replace) the persistent tier on a live cache.
 

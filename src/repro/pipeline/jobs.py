@@ -50,6 +50,7 @@ from repro.core.ordering import ORDERING_STRATEGIES
 from repro.graphs.graph_state import GraphState
 from repro.hardware.models import get_hardware_model
 from repro.utils.backend import BACKENDS
+from repro.utils.faults import FaultPoint
 
 __all__ = [
     "GraphSpec",
@@ -103,7 +104,9 @@ PRIORITY_CLASSES = ("high", "normal", "low")
 #: fields; deadline-bounded compile/comparison jobs run through the anytime
 #: portfolio compiler (:mod:`repro.core.portfolio`), which changes the
 #: winning circuit whenever a later rung beats the natural baseline.
-JOB_SCHEMA_VERSION = 5
+#: v6: first-class ``compile_timeout_s`` wire field (the per-request
+#: watchdog bound enforced by service workers).
+JOB_SCHEMA_VERSION = 6
 
 
 @dataclass(frozen=True)
@@ -219,6 +222,12 @@ class BatchJob:
         additionally applies admission control against this deadline.
     priority : str, optional
         One of :data:`PRIORITY_CLASSES` (admission-control class).
+    compile_timeout_s : float | None, optional
+        Per-request wall-clock watchdog bound enforced by service workers:
+        a compile that produces no outcome within this many seconds is
+        answered with a structured timeout error (HTTP 504) instead of
+        hanging the request.  ``None`` keeps the worker's configured
+        default (``repro serve --compile-timeout-s``).
     config_overrides : tuple[tuple[str, object], ...], optional
         Extra :class:`repro.core.config.CompilerConfig` fields applied on top
         of the fast benchmark profile, as a sorted tuple of ``(name, value)``
@@ -234,6 +243,7 @@ class BatchJob:
     verify: bool = False
     deadline_ms: float | None = None
     priority: str = "normal"
+    compile_timeout_s: float | None = None
     config_overrides: tuple[tuple[str, object], ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -255,6 +265,10 @@ class BatchJob:
             raise ValueError(
                 f"priority must be one of {PRIORITY_CLASSES}, "
                 f"got {self.priority!r}"
+            )
+        if self.compile_timeout_s is not None and self.compile_timeout_s <= 0:
+            raise ValueError(
+                f"compile_timeout_s must be > 0, got {self.compile_timeout_s}"
             )
         if self.backend is not None and self.backend not in BACKENDS:
             raise ValueError(
@@ -329,6 +343,7 @@ class BatchJob:
             "verify",
             "deadline_ms",
             "priority",
+            "compile_timeout_s",
             "config_overrides",
         }
         unknown = set(payload) - allowed
@@ -378,6 +393,14 @@ class BatchJob:
 # Worker
 # --------------------------------------------------------------------------- #
 
+#: Fires at the start of every job execution; ``crash``/``sleep`` rules
+#: with a ``match`` on the job label simulate poison jobs and pathological
+#: instances deterministically.
+_FAULT_COMPILE = FaultPoint("compile.step")
+
+#: Fires before the pending journal fsyncs an appended record.
+_FAULT_FSYNC = FaultPoint("journal.fsync")
+
 
 def _job_config(job: BatchJob):
     """The fast benchmark profile of the evaluation harness, plus overrides."""
@@ -417,6 +440,7 @@ def run_job(job: BatchJob) -> dict:
     from repro.core.partition import GraphPartitioner
     from repro.utils.backend import use_backend
 
+    _FAULT_COMPILE.hit(context=job.label)
     graph = job.graph.build()
     config = _job_config(job)
     record: dict = {
@@ -539,10 +563,16 @@ class PendingJournal:
         {"op": "attempt", "request_id": ..., "worker": 2}
         {"op": "done", "request_id": ...}
         {"op": "failed", "request_id": ..., "error": "..."}
+        {"op": "poisoned", "request_id": ..., "attempts": 3, "error": "..."}
 
     A torn final line (the writer died mid-``write``) is tolerated and
     ignored on load.  ``failed`` marks *terminal* client-side errors
-    (malformed payloads) that must not be replayed.
+    (malformed payloads) that must not be replayed; ``poisoned`` marks
+    requests quarantined after crashing ``max_job_attempts`` workers —
+    also terminal, also never replayed.  ``attempt`` lines make the
+    attempt count *authoritative across restarts*: replay resumes a
+    request at its recorded attempt count, and :meth:`compact` carries
+    the count forward on the rewritten ``pending`` line.
 
     Parameters
     ----------
@@ -565,21 +595,27 @@ class PendingJournal:
                 self._handle = self.path.open("a", encoding="utf-8")
             self._handle.write(line + "\n")
             self._handle.flush()
+            _FAULT_FSYNC.hit(context=str(record.get("op", "")))
             os.fsync(self._handle.fileno())
 
     def record_pending(
-        self, request_id: str, payload: dict, content_hash: str
+        self, request_id: str, payload: dict, content_hash: str, attempts: int = 0
     ) -> None:
-        """Journal the acceptance of one request (before dispatch)."""
-        self._append(
-            {
-                "op": "pending",
-                "request_id": request_id,
-                "payload": payload,
-                "content_hash": content_hash,
-                "schema_version": JOURNAL_SCHEMA_VERSION,
-            }
-        )
+        """Journal the acceptance of one request (before dispatch).
+
+        ``attempts`` carries a previously recorded attempt count forward
+        (compaction and replay-of-replay); fresh requests leave it at 0.
+        """
+        record = {
+            "op": "pending",
+            "request_id": request_id,
+            "payload": payload,
+            "content_hash": content_hash,
+            "schema_version": JOURNAL_SCHEMA_VERSION,
+        }
+        if attempts:
+            record["attempts"] = attempts
+        self._append(record)
 
     def record_attempt(self, request_id: str, worker: int) -> None:
         """Journal one dispatch attempt (so replay knows the attempt count)."""
@@ -592,6 +628,17 @@ class PendingJournal:
     def record_failed(self, request_id: str, error: str) -> None:
         """Journal a *terminal* failure (bad payload — never replayed)."""
         self._append({"op": "failed", "request_id": request_id, "error": error})
+
+    def record_poisoned(self, request_id: str, attempts: int, error: str) -> None:
+        """Journal a poison-job quarantine (terminal — never replayed)."""
+        self._append(
+            {
+                "op": "poisoned",
+                "request_id": request_id,
+                "attempts": attempts,
+                "error": error,
+            }
+        )
 
     def close(self) -> None:
         """Close the underlying file handle (idempotent)."""
@@ -641,15 +688,19 @@ class PendingJournal:
                         request_id=request_id,
                         payload=record.get("payload") or {},
                         content_hash=str(record.get("content_hash", "")),
+                        attempts=int(record.get("attempts", 0)),
                     )
                 elif op == "attempt" and request_id in pending:
                     pending[request_id].attempts += 1
-                elif op in ("done", "failed"):
+                elif op in ("done", "failed", "poisoned"):
                     pending.pop(request_id, None)
         return list(pending.values())
 
     def compact(self) -> int:
         """Rewrite the journal keeping only unfinished entries.
+
+        Attempt counts are carried forward on the rewritten ``pending``
+        lines, so compaction never resets a request's quarantine budget.
 
         Returns
         -------
@@ -664,19 +715,17 @@ class PendingJournal:
             temp = self.path.with_suffix(self.path.suffix + ".compact")
             with temp.open("w", encoding="utf-8") as handle:
                 for entry in unfinished:
+                    record = {
+                        "op": "pending",
+                        "request_id": entry.request_id,
+                        "payload": entry.payload,
+                        "content_hash": entry.content_hash,
+                        "schema_version": JOURNAL_SCHEMA_VERSION,
+                    }
+                    if entry.attempts:
+                        record["attempts"] = entry.attempts
                     handle.write(
-                        json.dumps(
-                            {
-                                "op": "pending",
-                                "request_id": entry.request_id,
-                                "payload": entry.payload,
-                                "content_hash": entry.content_hash,
-                                "schema_version": JOURNAL_SCHEMA_VERSION,
-                            },
-                            sort_keys=True,
-                            default=str,
-                        )
-                        + "\n"
+                        json.dumps(record, sort_keys=True, default=str) + "\n"
                     )
                 handle.flush()
                 os.fsync(handle.fileno())

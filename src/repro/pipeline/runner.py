@@ -39,12 +39,15 @@ class JobOutcome:
     ``cache_hit`` means the result came from the persistent cache;
     ``coalesced`` means the job was an in-batch duplicate answered by
     another job's fresh execution.  Both flavours cost no compilation, but
-    only ``cache_hit`` implies a configured cache.
+    only ``cache_hit`` implies a configured cache.  ``error_kind``
+    classifies machine-readable failures (currently only ``"timeout"``,
+    set by the service watchdog) so transports can map them to statuses.
     """
 
     job: BatchJob
     result: dict | None
     error: str | None = None
+    error_kind: str | None = None
     cache_hit: bool = False
     coalesced: bool = False
     elapsed_seconds: float = 0.0

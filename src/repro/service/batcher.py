@@ -97,13 +97,20 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------ #
 
-    def submit(self, job: BatchJob) -> JobOutcome:
+    def submit(self, job: BatchJob, timeout_seconds: float | None = None) -> JobOutcome:
         """Enqueue ``job`` and block until its batch has been executed.
 
         Parameters
         ----------
         job : BatchJob
             The compilation job to run.
+        timeout_seconds : float | None, optional
+            Per-request watchdog bound: when the outcome is not available
+            within this many wall-clock seconds, return a structured
+            timeout outcome (``error_kind="timeout"``) instead of blocking
+            forever.  The underlying batch keeps running to completion —
+            Python threads cannot be interrupted — but the caller's thread
+            (and its HTTP connection) is released immediately.
 
         Returns
         -------
@@ -116,7 +123,17 @@ class MicroBatcher:
             if self._closed.is_set():
                 raise RuntimeError("MicroBatcher is closed")
             self._queue.put(pending)
-        pending.done.wait()
+        if not pending.done.wait(timeout=timeout_seconds):
+            return JobOutcome(
+                job=job,
+                result=None,
+                error=(
+                    f"compile watchdog: no outcome within {timeout_seconds:g}s "
+                    f"for {job.label}"
+                ),
+                error_kind="timeout",
+                elapsed_seconds=float(timeout_seconds),
+            )
         assert pending.outcome is not None
         return pending.outcome
 

@@ -52,6 +52,7 @@ from typing import Sequence
 from repro.pipeline.jobs import BatchJob, JournalEntry, PendingJournal
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.metrics import FLEET_METRICS, MetricsRegistry, log_event
+from repro.utils.faults import FaultPoint
 
 __all__ = [
     "WorkerProcess",
@@ -59,11 +60,17 @@ __all__ = [
     "FleetServer",
     "FleetDrainingError",
     "NoHealthyWorkerError",
+    "PoisonedJobError",
     "rendezvous_order",
     "free_port",
     "start_fleet",
     "install_sigterm_drain",
 ]
+
+#: Injection points of the fleet control plane (:mod:`repro.utils.faults`).
+_FAULT_SPAWN = FaultPoint("worker.spawn")
+_FAULT_FORWARD = FaultPoint("dispatch.forward")
+_FAULT_HEARTBEAT = FaultPoint("heartbeat.probe")
 
 #: Worker lifecycle states (a small link-state machine per worker).
 STARTING = "starting"
@@ -79,6 +86,34 @@ class FleetDrainingError(RuntimeError):
 
 class NoHealthyWorkerError(RuntimeError):
     """Every dispatch attempt failed; no healthy worker answered (HTTP 503)."""
+
+
+class PoisonedJobError(RuntimeError):
+    """A request was quarantined after crashing ``max_job_attempts`` workers.
+
+    Answered as HTTP 422: the request itself is the problem (every worker
+    that accepted it died), so retrying it anywhere — another worker, a
+    restart, a replay — would only widen the blast radius.  The journal
+    records the quarantine (``op: "poisoned"``), so replay skips it.
+    """
+
+    def __init__(
+        self,
+        request_id: str,
+        attempts: int,
+        attempt_history: list[dict],
+        max_job_attempts: int,
+        last_error: str,
+    ):
+        super().__init__(
+            f"request {request_id} quarantined as poisoned after {attempts} "
+            f"crashed dispatch attempts "
+            f"(max_job_attempts={max_job_attempts}): {last_error}"
+        )
+        self.request_id = request_id
+        self.attempts = attempts
+        self.attempt_history = attempt_history
+        self.max_job_attempts = max_job_attempts
 
 
 def free_port(host: str = "127.0.0.1") -> int:
@@ -170,6 +205,10 @@ class WorkerProcess:
         self.next_restart_at = 0.0
         self.spawned_at = 0.0
         self.last_healthz: dict = {}
+        self.ever_healthy = False
+        self.port_rebinds = 0
+        self.request_timeout = float(request_timeout)
+        self.heartbeat_timeout = float(heartbeat_timeout)
         base_url = f"http://{host}:{port}"
         self.client = ServiceClient(base_url, timeout=request_timeout)
         self.heartbeat_client = ServiceClient(base_url, timeout=heartbeat_timeout)
@@ -187,10 +226,26 @@ class WorkerProcess:
 
     def spawn(self) -> None:
         """Start (or restart) the subprocess and mark the link ``starting``."""
+        _FAULT_SPAWN.hit(context=str(self.index))
         self.process = subprocess.Popen(self.command, env=_worker_env())
         self.spawned_at = time.monotonic()
         self.missed_heartbeats = 0
         self.state = STARTING
+
+    def rebind(self, port: int, command: list[str]) -> None:
+        """Move the worker to a fresh port (and argv) before a respawn.
+
+        Used when the port allocated by :func:`free_port` turned out to be
+        taken by the time the worker tried to bind it (the allocate/bind
+        race): the worker identity — its index — is the routing key, so
+        changing the port is invisible to rendezvous placement.
+        """
+        self.port = int(port)
+        self.command = list(command)
+        self.port_rebinds += 1
+        base_url = f"http://{self.host}:{self.port}"
+        self.client = ServiceClient(base_url, timeout=self.request_timeout)
+        self.heartbeat_client = ServiceClient(base_url, timeout=self.heartbeat_timeout)
 
     def terminate(self, grace_seconds: float = 10.0) -> None:
         """SIGTERM the worker (graceful drain), escalating to SIGKILL."""
@@ -259,6 +314,13 @@ class FleetSupervisor:
     dispatch_wait_seconds : float, optional
         How long one attempt waits for *any* healthy worker before failing
         (covers the restart window after a crash).
+    max_job_attempts : int, optional
+        Crashed dispatch attempts (connection-level failures, summed across
+        restarts via the journal) before a request is quarantined as
+        poisoned and answered HTTP 422.
+    compile_timeout_s : float | None, optional
+        Per-compile wall-clock watchdog forwarded to every worker
+        (``repro serve --compile-timeout-s``); ``None`` disables it.
     """
 
     def __init__(
@@ -278,9 +340,17 @@ class FleetSupervisor:
         request_timeout: float = 120.0,
         dispatch_attempts: int = 4,
         dispatch_wait_seconds: float = 15.0,
+        max_job_attempts: int = 3,
+        compile_timeout_s: float | None = None,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if max_job_attempts < 1:
+            raise ValueError(f"max_job_attempts must be >= 1, got {max_job_attempts}")
+        if compile_timeout_s is not None and compile_timeout_s <= 0:
+            raise ValueError(
+                f"compile_timeout_s must be > 0, got {compile_timeout_s}"
+            )
         self.host = host
         self.cache_dir = cache_dir
         self.subgraph_cache_dir = subgraph_cache_dir
@@ -294,6 +364,11 @@ class FleetSupervisor:
         self.request_timeout = float(request_timeout)
         self.dispatch_attempts = int(dispatch_attempts)
         self.dispatch_wait_seconds = float(dispatch_wait_seconds)
+        self.max_job_attempts = int(max_job_attempts)
+        self.compile_timeout_s = (
+            float(compile_timeout_s) if compile_timeout_s is not None else None
+        )
+        self._poisoned_total = 0
         self.started_at = time.time()
 
         self.journal = PendingJournal(journal_path) if journal_path else None
@@ -358,6 +433,8 @@ class FleetSupervisor:
             command += ["--cache-dir", str(self.cache_dir)]
         if self.subgraph_cache_dir:
             command += ["--subgraph-cache-dir", str(self.subgraph_cache_dir)]
+        if self.compile_timeout_s is not None:
+            command += ["--compile-timeout-s", str(self.compile_timeout_s)]
         return command
 
     def start(self, wait_ready: bool = True, replay: bool = True) -> None:
@@ -373,8 +450,23 @@ class FleetSupervisor:
             the background, so the front end can accept traffic while the
             backlog drains).
         """
+        now = time.monotonic()
         for worker in self.workers:
-            worker.spawn()
+            try:
+                worker.spawn()
+            except OSError as exc:
+                # The supervision loop will retry with backoff; an initial
+                # spawn failure must not take the whole fleet down.
+                worker.consecutive_failures += 1
+                worker.next_restart_at = now + self.restart_backoff_seconds
+                worker.state = RESTARTING
+                log_event(
+                    "worker_spawn_error",
+                    level="error",
+                    worker=worker.index,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                continue
             log_event(
                 "worker_spawn", worker=worker.index, pid=worker.pid, port=worker.port
             )
@@ -385,6 +477,7 @@ class FleetSupervisor:
                     try:
                         worker.last_healthz = worker.heartbeat_client.healthz()
                         worker.state = HEALTHY
+                        worker.ever_healthy = True
                     except ServiceError:
                         time.sleep(0.05)
                 if worker.state != HEALTHY:
@@ -501,7 +594,35 @@ class FleetSupervisor:
                     consecutive_failures=worker.consecutive_failures,
                 )
             elif now >= worker.next_restart_at:
-                worker.spawn()
+                if not worker.ever_healthy and worker.port_rebinds == 0:
+                    # The worker never came up on its assigned port — most
+                    # likely it lost the free_port() allocate/bind race to
+                    # another process.  Retry exactly once on a fresh port;
+                    # routing is by index, so the move is invisible.
+                    new_port = free_port(self.host)
+                    worker.rebind(new_port, self._worker_command(new_port))
+                    log_event(
+                        "worker_rebind",
+                        level="warning",
+                        worker=worker.index,
+                        port=new_port,
+                    )
+                try:
+                    worker.spawn()
+                except OSError as exc:
+                    worker.consecutive_failures += 1
+                    worker.next_restart_at = now + min(
+                        self.restart_backoff_cap_seconds,
+                        self.restart_backoff_seconds
+                        * (2**worker.consecutive_failures),
+                    )
+                    log_event(
+                        "worker_spawn_error",
+                        level="error",
+                        worker=worker.index,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    return
                 worker.restarts += 1
                 self._instruments["repro_fleet_worker_restarts_total"].inc()
                 log_event(
@@ -513,8 +634,9 @@ class FleetSupervisor:
             return
         # Process is alive: heartbeat it.
         try:
+            _FAULT_HEARTBEAT.hit(context=str(worker.index))
             worker.last_healthz = worker.heartbeat_client.healthz()
-        except ServiceError as exc:
+        except (ServiceError, OSError) as exc:
             if worker.state == STARTING:
                 if now - worker.spawned_at > self.worker_start_timeout:
                     log_event(
@@ -537,6 +659,7 @@ class FleetSupervisor:
         worker.missed_heartbeats = 0
         if worker.state != HEALTHY:
             worker.state = HEALTHY
+            worker.ever_healthy = True
             worker.consecutive_failures = 0
             log_event("worker_healthy", worker=worker.index, pid=worker.pid)
 
@@ -567,7 +690,11 @@ class FleetSupervisor:
             time.sleep(0.05)
 
     def dispatch(
-        self, payload: dict, request_id: str | None = None, journal_accept: bool = True
+        self,
+        payload: dict,
+        request_id: str | None = None,
+        journal_accept: bool = True,
+        prior_attempts: int = 0,
     ) -> dict:
         """Route one compile payload to a worker, retrying across failures.
 
@@ -580,6 +707,10 @@ class FleetSupervisor:
         journal_accept : bool, optional
             Write the ``pending`` journal line (False during replay, where
             the entry already exists).
+        prior_attempts : int, optional
+            Crashed dispatch attempts already charged to this request by a
+            previous fleet run (recovered from the journal during replay);
+            counted toward the ``max_job_attempts`` poison threshold.
 
         Returns
         -------
@@ -593,6 +724,9 @@ class FleetSupervisor:
             Malformed payload (journaled as terminally failed).
         FleetDrainingError
             The fleet is draining.
+        PoisonedJobError
+            The request crashed ``max_job_attempts`` workers and was
+            quarantined (journaled ``poisoned``, answered HTTP 422).
         NoHealthyWorkerError
             All dispatch attempts exhausted.
         ServiceError
@@ -619,7 +753,9 @@ class FleetSupervisor:
             self.journal.record_pending(request_id, payload, content_hash)
         started = time.perf_counter()
         try:
-            body = self._dispatch_attempts(payload, request_id, content_hash)
+            body = self._dispatch_attempts(
+                payload, request_id, content_hash, prior_attempts
+            )
             if self.journal is not None:
                 self.journal.record_done(request_id)
             body["request_id"] = request_id
@@ -634,13 +770,24 @@ class FleetSupervisor:
                     self._idle.notify_all()
 
     def _dispatch_attempts(
-        self, payload: dict, request_id: str, content_hash: str
+        self,
+        payload: dict,
+        request_id: str,
+        content_hash: str,
+        prior_attempts: int = 0,
     ) -> dict:
         ranked = self.route(content_hash)
         tried: set[int] = set()
         last_error = "no healthy workers"
+        crashed = int(prior_attempts)
+        history: list[dict] = []
         deadline = time.monotonic() + self.dispatch_wait_seconds
         for attempt in range(self.dispatch_attempts):
+            if crashed >= self.max_job_attempts:
+                # Checked before (not only after) forwarding so a replayed
+                # entry that already burned its attempts in previous runs is
+                # quarantined without crashing yet another worker.
+                self._quarantine_poisoned(request_id, crashed, last_error, history)
             worker = self._pick_worker(ranked, tried, deadline)
             if worker is None:
                 break
@@ -648,13 +795,18 @@ class FleetSupervisor:
             if self.journal is not None:
                 self.journal.record_attempt(request_id, worker.index)
             try:
+                _FAULT_FORWARD.hit(context=content_hash)
                 body = worker.client.compile_payload(payload)
-            except ServiceError as exc:
-                if exc.status == 0:
+            except (ServiceError, OSError) as exc:
+                status = exc.status if isinstance(exc, ServiceError) else 0
+                if status == 0:
                     # Connection-level failure: the worker died or hung
-                    # mid-request.  Mark the link suspect and re-dispatch to
-                    # the next worker in rendezvous order.
+                    # mid-request.  Charge a crashed attempt, mark the link
+                    # suspect and re-dispatch to the next worker in
+                    # rendezvous order.
                     last_error = str(exc)
+                    crashed += 1
+                    history.append({"worker": worker.index, "error": last_error})
                     self._instruments["repro_fleet_retries_total"].inc()
                     self._note_dispatch_failure(worker)
                     log_event(
@@ -663,16 +815,19 @@ class FleetSupervisor:
                         request_id=request_id,
                         worker=worker.index,
                         attempt=attempt,
+                        crashed_attempts=crashed,
                         error=last_error,
                     )
                     continue
                 # A real HTTP answer (400/429/500): the worker is fine, the
                 # request outcome is terminal — journal and relay.
                 if self.journal is not None:
-                    self.journal.record_failed(request_id, f"HTTP {exc.status}: {exc}")
+                    self.journal.record_failed(request_id, f"HTTP {status}: {exc}")
                 raise
             body["worker"] = worker.index
             return body
+        if crashed >= self.max_job_attempts:
+            self._quarantine_poisoned(request_id, crashed, last_error, history)
         self._instruments["repro_fleet_request_failures_total"].inc()
         log_event(
             "dispatch_failed",
@@ -681,6 +836,31 @@ class FleetSupervisor:
             error=last_error,
         )
         raise NoHealthyWorkerError(last_error)
+
+    def _quarantine_poisoned(
+        self,
+        request_id: str,
+        attempts: int,
+        last_error: str,
+        history: list[dict],
+    ) -> None:
+        """Journal a poison quarantine and raise :class:`PoisonedJobError`."""
+        if self.journal is not None:
+            self.journal.record_poisoned(request_id, attempts, last_error)
+        with self._lock:
+            self._poisoned_total += 1
+        self._instruments["repro_fleet_poisoned_total"].inc()
+        log_event(
+            "poison_quarantine",
+            level="error",
+            request_id=request_id,
+            attempts=attempts,
+            max_job_attempts=self.max_job_attempts,
+            error=last_error,
+        )
+        raise PoisonedJobError(
+            request_id, attempts, history, self.max_job_attempts, last_error
+        )
 
     def _note_dispatch_failure(self, worker: WorkerProcess) -> None:
         # Only demote the link when the process is actually gone; a single
@@ -700,9 +880,17 @@ class FleetSupervisor:
                     entry.payload,
                     request_id=entry.request_id,
                     journal_accept=False,
+                    prior_attempts=entry.attempts,
                 )
                 replayed += 1
                 self._instruments["repro_fleet_journal_replayed_total"].inc()
+            except PoisonedJobError as exc:
+                log_event(
+                    "journal_replay_poisoned",
+                    level="warning",
+                    request_id=entry.request_id,
+                    attempts=exc.attempts,
+                )
             except (ValueError, FleetDrainingError, NoHealthyWorkerError, ServiceError) as exc:
                 log_event(
                     "journal_replay_error",
@@ -727,6 +915,7 @@ class FleetSupervisor:
         with self._lock:
             inflight = self._inflight
             draining = self._draining
+            poisoned = self._poisoned_total
         return {
             "status": "draining" if draining else "ok",
             "role": "fleet",
@@ -738,6 +927,8 @@ class FleetSupervisor:
             "requests_total": int(
                 self._instruments["repro_fleet_requests_total"].value()
             ),
+            "poisoned_total": poisoned,
+            "max_job_attempts": self.max_job_attempts,
             "journal": {
                 "enabled": self.journal is not None,
                 "path": self._journal_path,
@@ -760,6 +951,8 @@ class FleetSupervisor:
         sub_hits = sub_misses = 0
         deadline_requests = deadline_misses = admission_rejections = 0
         refinement_improvements = 0
+        corrupt_entries = disk_errors = breaker_opens = 0
+        breakers_open = compile_timeouts = 0
         for worker in self.workers:
             ins["repro_fleet_worker_up"].set(
                 1.0 if worker.state == HEALTHY else 0.0, worker=str(worker.index)
@@ -779,6 +972,19 @@ class FleetSupervisor:
             refinement_improvements += int(
                 portfolio.get("refinement_improvements", 0)
             )
+            disk_tiers = [cache, (subgraph.get("disk_tier") or {})]
+            worker_breaker_open = False
+            for tier in disk_tiers:
+                corrupt_entries += int(tier.get("corrupt_entries", 0))
+                disk_errors += int(tier.get("disk_errors", 0))
+                breaker = tier.get("breaker") or {}
+                breaker_opens += int(breaker.get("opens", 0))
+                if breaker.get("state") == "open":
+                    worker_breaker_open = True
+            if worker_breaker_open:
+                breakers_open += 1
+            watchdog = body.get("watchdog") or {}
+            compile_timeouts += int(watchdog.get("compile_timeouts", 0))
         ins["repro_fleet_worker_requests_served_total"].set_total(served)
         ins["repro_fleet_result_cache_hits_total"].set_total(cache_hits)
         ins["repro_fleet_result_cache_misses_total"].set_total(cache_misses)
@@ -799,6 +1005,11 @@ class FleetSupervisor:
         ins["repro_fleet_refinement_improvements_total"].set_total(
             refinement_improvements
         )
+        ins["repro_fleet_cache_corrupt_entries_total"].set_total(corrupt_entries)
+        ins["repro_fleet_cache_disk_errors_total"].set_total(disk_errors)
+        ins["repro_fleet_disk_breaker_opens_total"].set_total(breaker_opens)
+        ins["repro_fleet_disk_breaker_open"].set(breakers_open)
+        ins["repro_fleet_compile_timeouts_total"].set_total(compile_timeouts)
         return self.registry.render()
 
 
@@ -853,6 +1064,15 @@ class _FleetHandler(BaseHTTPRequestHandler):
             status, body = 400, {"error": str(exc), "request_id": request_id}
         except FleetDrainingError as exc:
             status, body = 503, {"error": str(exc), "request_id": request_id}
+        except PoisonedJobError as exc:
+            status, body = 422, {
+                "error": str(exc),
+                "poisoned": True,
+                "attempts": exc.attempts,
+                "attempt_history": exc.attempt_history,
+                "max_job_attempts": exc.max_job_attempts,
+                "request_id": request_id,
+            }
         except NoHealthyWorkerError as exc:
             status, body = 503, {
                 "error": f"no worker could serve the request: {exc}",

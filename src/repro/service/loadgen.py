@@ -139,6 +139,7 @@ class LoadReport:
     wall_seconds: float = 0.0
     latencies_seconds: list[float] = field(default_factory=list)
     first_errors: list[str] = field(default_factory=list)
+    poisoned: int = 0
     killed_worker_index: int | None = None
     killed_worker_pid: int | None = None
     killed_after_requests: int | None = None
@@ -200,6 +201,8 @@ class LoadReport:
             body["deadline_miss_rate"] = self.deadline_miss_rate
         if self.admission_rejections:
             body["admission_rejections"] = self.admission_rejections
+        if self.poisoned:
+            body["poisoned"] = self.poisoned
         if self.quality_cnots:
             body["mean_emitter_cnots"] = sum(self.quality_cnots) / len(
                 self.quality_cnots
@@ -240,6 +243,8 @@ class LoadReport:
                     f"quality:       {mean_cnots:.2f} mean emitter CNOTs, "
                     f"{mean_duration:.2f} mean duration"
                 )
+        if self.poisoned:
+            lines.append(f"poisoned:      {self.poisoned} request(s) quarantined (HTTP 422)")
         if self.killed_worker_pid is not None:
             lines.append(
                 f"fault inject: SIGKILLed worker {self.killed_worker_index} "
@@ -284,6 +289,7 @@ def run_loadgen(
     timeout: float = 120.0,
     retries: int = 1,
     kill_worker_after: int | None = None,
+    poison_payload: dict | None = None,
 ) -> LoadReport:
     """Drive the service closed-loop and aggregate a :class:`LoadReport`.
 
@@ -310,6 +316,12 @@ def run_loadgen(
         one healthy compile worker of the fleet serving ``url``.  The
         target must be a fleet front end (its ``/healthz`` lists worker
         pids); the killed worker is recorded on the report.
+    poison_payload : dict | None, optional
+        Chaos testing: send this payload as the *last* request of the run
+        (index ``requests - 1``) instead of the round-robin mix.  A 422
+        answer whose body carries ``"poisoned": true`` (the fleet's
+        poison-quarantine response) is counted in ``report.poisoned``
+        rather than as an error.
 
     Returns
     -------
@@ -340,10 +352,14 @@ def run_loadgen(
             index = next(counter)
             if index >= requests:
                 return
-            payload = payloads[index % len(payloads)]
+            if poison_payload is not None and index == requests - 1:
+                payload = poison_payload
+            else:
+                payload = payloads[index % len(payloads)]
             started = time.perf_counter()
             error = None
             rejected = False
+            quarantined = False
             cache_hit = False
             coalesced = False
             portfolio: dict = {}
@@ -357,6 +373,11 @@ def run_loadgen(
                     # Admission control turned the request away on purpose;
                     # count it separately instead of as a server failure.
                     rejected = True
+                elif exc.status == 422 and (exc.body or {}).get("poisoned"):
+                    # The fleet quarantined the request as poisoned — the
+                    # expected outcome of a chaos poison payload, not a
+                    # server failure.
+                    quarantined = True
                 else:
                     error = str(exc)
             latency = time.perf_counter() - started
@@ -365,6 +386,8 @@ def run_loadgen(
                 report.requests += 1
                 if rejected:
                     report.admission_rejections += 1
+                elif quarantined:
+                    report.poisoned += 1
                 elif error is None:
                     report.latencies_seconds.append(latency)
                     report.cache_hits += int(cache_hit)

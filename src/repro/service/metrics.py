@@ -111,6 +111,24 @@ FLEET_METRICS: dict[str, tuple[str, str]] = {
     "repro_fleet_refinement_improvements_total": (
         "counter", "Background portfolio refinements that beat the served result."
     ),
+    "repro_fleet_poisoned_total": (
+        "counter", "Requests quarantined as poisoned after crashing max_job_attempts workers."
+    ),
+    "repro_fleet_cache_corrupt_entries_total": (
+        "counter", "Corrupt disk-cache entries quarantined, rolled up from workers."
+    ),
+    "repro_fleet_cache_disk_errors_total": (
+        "counter", "Disk-cache I/O errors, rolled up from workers."
+    ),
+    "repro_fleet_disk_breaker_opens_total": (
+        "counter", "Disk-tier circuit-breaker open transitions, rolled up from workers."
+    ),
+    "repro_fleet_disk_breaker_open": (
+        "gauge", "Workers currently running with an open disk-tier circuit breaker."
+    ),
+    "repro_fleet_compile_timeouts_total": (
+        "counter", "Compiles cut off by the per-request watchdog, rolled up from workers."
+    ),
 }
 
 

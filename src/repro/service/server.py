@@ -86,7 +86,7 @@ _LATENCY_EWMA_ALPHA = 0.3
 
 def _outcome_payload(outcome: JobOutcome) -> dict:
     """JSON body describing one job outcome."""
-    return {
+    body = {
         "ok": outcome.ok,
         "label": outcome.job.label,
         "cache_hit": outcome.cache_hit,
@@ -95,6 +95,9 @@ def _outcome_payload(outcome: JobOutcome) -> dict:
         "error": outcome.error,
         "result": outcome.result,
     }
+    if outcome.error_kind is not None:
+        body["error_kind"] = outcome.error_kind
+    return body
 
 
 class _AsyncBatch:
@@ -154,6 +157,13 @@ class CompileService:
         them off the request path — warming the subgraph compile cache and
         counting refinement improvements.  Disable for strictly
         request-bounded CPU usage.
+    compile_timeout_s : float | None, optional
+        Default per-request compile watchdog: a ``/compile`` request whose
+        outcome is not available within this many wall-clock seconds is
+        answered with a structured timeout error (HTTP 504) instead of
+        hanging its connection (and, in a fleet, the front end's dispatch
+        slot).  Per-request ``compile_timeout_s`` payload fields override
+        it; ``None`` disables the watchdog.
     """
 
     #: Async batches kept around for ``/status`` polling; beyond this cap the
@@ -173,7 +183,14 @@ class CompileService:
         max_batch: int = 32,
         subgraph_cache_dir: str | None = None,
         background_refine: bool = True,
+        compile_timeout_s: float | None = None,
     ):
+        if compile_timeout_s is not None and compile_timeout_s <= 0:
+            raise ValueError(
+                f"compile_timeout_s must be > 0, got {compile_timeout_s}"
+            )
+        self.compile_timeout_s = compile_timeout_s
+        self._compile_timeouts = 0
         if subgraph_cache_dir is not None:
             import os
 
@@ -243,13 +260,31 @@ class CompileService:
         job = self._parse_job(payload)
         if job.deadline_ms is not None:
             self._admit_or_reject(job)
+        timeout_s = (
+            job.compile_timeout_s
+            if job.compile_timeout_s is not None
+            else self.compile_timeout_s
+        )
         with self._lock:
             self._inflight_compiles += 1
         try:
-            outcome = self.batcher.submit(job)
+            outcome = self.batcher.submit(job, timeout_seconds=timeout_s)
         finally:
             with self._lock:
                 self._inflight_compiles -= 1
+        if outcome.error_kind == "timeout":
+            from repro.service.metrics import log_event
+
+            with self._lock:
+                self._compile_timeouts += 1
+                self._requests_served += 1
+            log_event(
+                "compile_watchdog_timeout",
+                level="warning",
+                label=job.label,
+                timeout_s=timeout_s,
+            )
+            return _outcome_payload(outcome)
         portfolio = (
             (outcome.result or {}).get("portfolio") or {}
             if outcome.ok
@@ -365,11 +400,14 @@ class CompileService:
         from repro.core.compile_cache import peek_process_cache
         from repro.core.portfolio import refinement_stats
 
+        from repro.utils.faults import get_registry
+
         cache = self.runner.cache
         subgraph_cache = peek_process_cache()
         with self._lock:
             requests_served = self._requests_served
             num_batches = len(self._batches)
+            compile_timeouts = self._compile_timeouts
             portfolio_block = {
                 "deadline_requests": self._deadline_requests,
                 "deadline_misses": self._deadline_misses,
@@ -378,6 +416,15 @@ class CompileService:
                 "ewma_compile_seconds": self._ewma_compile_seconds,
             }
         portfolio_block.update(refinement_stats().as_dict())
+        cache_block = {
+            "enabled": cache is not None,
+            "hits": 0,
+            "misses": 0,
+            "entries": 0,
+        }
+        if cache is not None:
+            cache_block.update(cache.stats())
+            cache_block["entries"] = len(cache)
         body = {
             "status": "ok",
             "version": repro.__version__,
@@ -386,15 +433,17 @@ class CompileService:
             "requests_served": requests_served,
             "async_batches": num_batches,
             "microbatcher": self.batcher.stats.as_dict(),
-            "cache": {
-                "enabled": cache is not None,
-                "hits": cache.hits if cache is not None else 0,
-                "misses": cache.misses if cache is not None else 0,
-                "entries": len(cache) if cache is not None else 0,
-            },
+            "cache": cache_block,
             "subgraph_cache": {"enabled": subgraph_cache is not None},
             "portfolio": portfolio_block,
+            "watchdog": {
+                "compile_timeout_s": self.compile_timeout_s,
+                "compile_timeouts": compile_timeouts,
+            },
         }
+        registry = get_registry()
+        if registry is not None and registry.active:
+            body["faults"] = registry.snapshot()
         if subgraph_cache is not None:
             body["subgraph_cache"].update(
                 entries=len(subgraph_cache),
@@ -402,6 +451,9 @@ class CompileService:
                 disk=subgraph_cache.disk_enabled,
                 **subgraph_cache.stats.as_dict(),
             )
+            disk_stats = subgraph_cache.disk_stats()
+            if disk_stats is not None:
+                body["subgraph_cache"]["disk_tier"] = disk_stats
         return body
 
     def close(self) -> None:
@@ -519,7 +571,16 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if self.path == "/compile":
                 body = self.server.service.compile(payload)
-                self._send(200 if body["ok"] else 500, body)
+                if body["ok"]:
+                    status = 200
+                elif body.get("error_kind") == "timeout":
+                    # Watchdog expiry: a structured, terminal answer — the
+                    # fleet front end relays it instead of re-dispatching
+                    # the pathological job to the next worker.
+                    status = 504
+                else:
+                    status = 500
+                self._send(status, body)
             else:
                 self._send(202, self.server.service.submit_batch(payload))
         except ServiceRequestError as exc:
@@ -641,6 +702,7 @@ def start_server(
     verbose: bool = False,
     subgraph_cache_dir: str | None = None,
     background_refine: bool = True,
+    compile_timeout_s: float | None = None,
 ) -> tuple[CompileServer, threading.Thread]:
     """Build a service and serve it on a daemon thread (for tests/loadgen).
 
@@ -651,7 +713,7 @@ def start_server(
     cache_dir : str | None
         Persistent result-cache directory (``None`` disables caching).
     max_workers, batch_window_seconds, max_batch, subgraph_cache_dir,
-    background_refine
+    background_refine, compile_timeout_s
         Forwarded to :class:`CompileService`.
     verbose : bool
         Log requests to stderr.
@@ -669,6 +731,7 @@ def start_server(
         max_batch=max_batch,
         subgraph_cache_dir=subgraph_cache_dir,
         background_refine=background_refine,
+        compile_timeout_s=compile_timeout_s,
     )
     server = CompileServer((host, port), service, verbose=verbose)
     thread = threading.Thread(

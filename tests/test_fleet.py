@@ -130,6 +130,48 @@ class TestPendingJournal:
     def test_missing_file_means_empty_backlog(self, tmp_path):
         assert PendingJournal.load_unfinished(tmp_path / "absent.jsonl") == []
 
+    def test_poisoned_entries_are_terminal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = PendingJournal(path)
+        journal.record_pending("toxic", {"family": "ghz", "size": 4}, "h1")
+        journal.record_attempt("toxic", 0)
+        journal.record_attempt("toxic", 1)
+        journal.record_poisoned("toxic", 3, "worker crashed")
+        journal.record_pending("fine", {"family": "ghz", "size": 5}, "h2")
+        journal.close()
+        unfinished = PendingJournal.load_unfinished(path)
+        assert [entry.request_id for entry in unfinished] == ["fine"]
+
+    def test_attempt_counts_survive_a_torn_tail(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = PendingJournal(path)
+        journal.record_pending(
+            "r1", {"family": "ghz", "size": 4}, "h1", attempts=2
+        )
+        journal.record_attempt("r1", 0)
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "attempt", "request_id": "r1", "wor')
+        unfinished = PendingJournal.load_unfinished(path)
+        assert [entry.request_id for entry in unfinished] == ["r1"]
+        # 2 carried forward + 1 complete attempt line; the torn line is dropped.
+        assert unfinished[0].attempts == 3
+
+    def test_compaction_preserves_attempt_counts(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = PendingJournal(path)
+        journal.record_pending("keep", {"family": "ghz", "size": 4}, "h1")
+        journal.record_attempt("keep", 0)
+        journal.record_attempt("keep", 1)
+        journal.record_pending("done", {"family": "ghz", "size": 5}, "h2")
+        journal.record_done("done")
+        kept = journal.compact()
+        journal.close()
+        assert kept == 1
+        unfinished = PendingJournal.load_unfinished(path)
+        assert [entry.request_id for entry in unfinished] == ["keep"]
+        assert unfinished[0].attempts == 2
+
 
 # --------------------------------------------------------------------------- #
 # Metrics registry and exposition validator (fast)
@@ -426,6 +468,87 @@ class TestDrain:
             # The journal was compacted on the clean drain: nothing pending.
             assert PendingJournal.load_unfinished(tmp_path / "journal.jsonl") == []
         finally:
+            server.server_close()
+
+
+@pytest.mark.slow
+class TestPoisonQuarantine:
+    def test_crashing_request_is_quarantined_as_422(self, tmp_path, monkeypatch):
+        from repro.utils.faults import reset_registry
+
+        schedule = json.dumps(
+            {"rules": [{"point": "compile.step", "action": "crash", "match": "#666"}]}
+        )
+        monkeypatch.setenv("REPRO_FAULT_SCHEDULE", schedule)
+        reset_registry()
+        journal_path = tmp_path / "journal.jsonl"
+        server, supervisor, _ = start_fleet(
+            2,
+            journal_path=str(journal_path),
+            heartbeat_seconds=0.2,
+            max_job_attempts=2,
+        )
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}", timeout=120.0)
+        try:
+            # An innocent request (seed != 666) compiles normally.
+            ok = client.compile_payload(
+                {"family": "lattice", "size": 6, "seed": 1, "kind": "compile"}
+            )
+            assert ok["ok"] is True
+
+            with pytest.raises(ServiceError) as excinfo:
+                client.compile_payload(
+                    {"family": "lattice", "size": 6, "seed": 666, "kind": "compile"}
+                )
+            assert excinfo.value.status == 422
+            body = excinfo.value.body
+            assert body["poisoned"] is True
+            assert body["attempts"] == 2
+            assert len(body["attempt_history"]) == 2
+            assert body["max_job_attempts"] == 2
+
+            healthz = client.healthz()
+            assert healthz["poisoned_total"] == 1
+            assert healthz["max_job_attempts"] == 2
+            text = _get_text(f"http://{host}:{port}/metrics")
+            assert "repro_fleet_poisoned_total 1" in text
+
+            # The quarantine is terminal in the journal: nothing to replay.
+            assert PendingJournal.load_unfinished(journal_path) == []
+        finally:
+            supervisor.stop()
+            server.shutdown()
+            server.server_close()
+            reset_registry()
+
+    def test_replay_poisons_entries_that_burned_their_attempts(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        payload = {"family": "ghz", "size": 5, "seed": 9, "kind": "compile"}
+        content_hash = BatchJob.from_dict(payload).content_hash
+        journal = PendingJournal(journal_path)
+        journal.record_pending("burned", payload, content_hash, attempts=2)
+        journal.close()
+
+        server, supervisor, _ = start_fleet(
+            2,
+            journal_path=str(journal_path),
+            heartbeat_seconds=0.2,
+            max_job_attempts=2,
+        )
+        host, port = server.server_address[:2]
+        try:
+            # Replay quarantines the entry (attempts already >= max) without
+            # dispatching it to any worker.
+            assert _wait_for(
+                lambda: supervisor.healthz()["poisoned_total"] == 1, timeout=60.0
+            )
+            assert PendingJournal.load_unfinished(journal_path) == []
+            text = _get_text(f"http://{host}:{port}/metrics")
+            assert "repro_fleet_poisoned_total 1" in text
+        finally:
+            supervisor.stop()
+            server.shutdown()
             server.server_close()
 
 
