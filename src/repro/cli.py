@@ -137,9 +137,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compile_parser.add_argument(
         "--family",
-        choices=["lattice", "tree", "random"],
+        choices=["lattice", "tree", "random", "percolated", "ghz"],
         default="lattice",
-        help="benchmark graph family",
+        help="benchmark graph family (percolated/ghz require --stream)",
     )
     compile_parser.add_argument("--size", type=int, default=20, help="number of qubits")
     compile_parser.add_argument("--seed", type=int, default=11, help="graph seed")
@@ -174,6 +174,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="anytime portfolio compilation with a deterministic step budget "
         "(run exactly the first N strategy rungs instead of a wall clock)",
+    )
+    compile_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream the compile region-by-region from a lazy generator spec "
+        "(lattice/percolated/ghz): bounded-window memory, operations are "
+        "bit-identical to the whole-graph greedy reduction",
+    )
+    compile_parser.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        help="streaming region size (lattice rows per band / GHZ leaves per "
+        "chunk; default: the family default)",
     )
     compile_parser.add_argument(
         "--baseline", action="store_true", help="also compile with the baseline"
@@ -545,6 +559,24 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 50 200 1000 5000)",
     )
     bench_parser.add_argument(
+        "--arena-sizes",
+        type=int,
+        nargs="*",
+        default=None,
+        help="matrix widths for the arena-vs-packed kernel section "
+        "(default: 64 128 256 512 1024; pass with no values to skip the "
+        "section)",
+    )
+    bench_parser.add_argument(
+        "--stream-sizes",
+        type=int,
+        nargs="*",
+        default=None,
+        help="vertex counts for the streaming-compile section, swept over "
+        "the lattice/ghz families under tracemalloc "
+        "(default: 25600 102400; pass with no values to skip the section)",
+    )
+    bench_parser.add_argument(
         "--repeats", type=int, default=3, help="timing repetitions per point"
     )
     bench_parser.add_argument(
@@ -564,7 +596,68 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _stream_compile(args: argparse.Namespace) -> int:
+    """The ``repro compile --stream`` path: bounded-window streaming."""
+    import tracemalloc
+
+    from repro.core.streaming import compile_stream
+    from repro.graphs.lazy import STREAM_FAMILIES, make_stream_spec
+
+    if args.family not in STREAM_FAMILIES:
+        raise ValueError(
+            f"--stream supports families {STREAM_FAMILIES}, got {args.family!r}"
+        )
+    spec = make_stream_spec(args.family, args.size, seed=args.seed, chunk=args.chunk)
+    tracemalloc.start()
+    result = compile_stream(spec, collect_operations=args.verify)
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    print(
+        f"stream: {spec.family} with {spec.num_vertices} qubits in "
+        f"{result.num_regions} regions"
+    )
+    print(
+        f"window: capacity {result.window_capacity} photons, "
+        f"peak {result.peak_window_photons}"
+    )
+    print(f"peak traced memory: {peak_bytes} bytes")
+    print("stream result:")
+    summary = {
+        "num_emitters": result.num_emitters,
+        "num_operations": result.num_operations,
+        "num_emissions": result.num_emissions,
+        "num_emitter_emitter_gates": result.num_emitter_emitter_gates,
+        "emitters_over_budget": result.emitters_over_budget,
+        "elapsed_seconds": f"{result.elapsed_seconds:.3f}",
+    }
+    for key, value in sorted(summary.items()):
+        print(f"  {key}: {value}")
+    for op_name, count in result.op_counts.items():
+        print(f"  ops.{op_name}: {count}")
+    if args.verify:
+        from repro.core.strategies import greedy_reduce
+
+        oracle = greedy_reduce(spec.materialize())
+        if (
+            result.operations != oracle.operations
+            or result.num_emitters != oracle.num_emitters
+        ):
+            raise AssertionError(
+                "streamed operations diverge from the whole-graph reduction"
+            )
+        print("verified: streamed operations bit-identical to the whole-graph "
+              "greedy reduction")
+    return EXIT_OK
+
+
 def _run_compile(args: argparse.Namespace) -> int:
+    if args.stream:
+        return _stream_compile(args)
+    if args.family in ("percolated", "ghz"):
+        raise ValueError(
+            f"family {args.family!r} is streaming-only here; pass --stream "
+            "(or use `repro batch` for the materialised zoo family)"
+        )
     graph = benchmark_graph(args.family, args.size, seed=args.seed)
     overrides: dict[str, object] = {"gf2_backend": args.backend}
     if args.ordering is not None:
@@ -928,11 +1021,13 @@ def _run_loadgen(args: argparse.Namespace) -> int:
 
 def _run_bench(args: argparse.Namespace) -> int:
     from repro.evaluation.perf import (
+        DEFAULT_ARENA_SIZES,
         DEFAULT_BENCH_SIZES,
         DEFAULT_CACHE_SIZES,
         DEFAULT_COMPILE_SIZES,
         DEFAULT_PORTFOLIO_DEADLINES_MS,
         DEFAULT_PORTFOLIO_SIZES,
+        DEFAULT_STREAM_SIZES,
         write_bench_file,
     )
 
@@ -957,6 +1052,14 @@ def _run_bench(args: argparse.Namespace) -> int:
         if args.portfolio_deadlines_ms is not None
         else DEFAULT_PORTFOLIO_DEADLINES_MS
     )
+    arena_sizes = (
+        tuple(args.arena_sizes) if args.arena_sizes is not None else DEFAULT_ARENA_SIZES
+    )
+    stream_sizes = (
+        tuple(args.stream_sizes)
+        if args.stream_sizes is not None
+        else DEFAULT_STREAM_SIZES
+    )
     record = write_bench_file(
         args.output,
         sizes=sizes,
@@ -967,6 +1070,8 @@ def _run_bench(args: argparse.Namespace) -> int:
         cache_sizes=cache_sizes,
         portfolio_sizes=portfolio_sizes,
         portfolio_deadlines_ms=portfolio_deadlines,
+        arena_sizes=arena_sizes,
+        stream_sizes=stream_sizes,
     )
     print("height function (naive per-prefix vs incremental engine):")
     print(
@@ -1048,6 +1153,53 @@ def _run_bench(args: argparse.Namespace) -> int:
                 ],
             )
         )
+    if record["arena_results"]:
+        arena = record["arena_results"]
+        print("arena GF(2) kernels (packed big-int vs word-arena rref):")
+        print(
+            render_table(
+                ["width", "packed_s", "arena_s", "speedup"],
+                [
+                    [
+                        row["size"],
+                        f"{row['packed_rref_median_seconds']:.4f}",
+                        f"{row['arena_rref_median_seconds']:.4f}",
+                        f"{row['rref_speedup']:.1f}x",
+                    ]
+                    for row in arena["kernel_results"]
+                ],
+            )
+        )
+        crossover = arena["crossover_size"]
+        print(
+            f"  crossover: {crossover if crossover is not None else 'not reached'}"
+            f"  (auto-selection threshold default: {arena['default_threshold']})"
+        )
+    if record["stream_results"]:
+        print("streaming partition-compile (bounded window, tracemalloc peak):")
+        print(
+            render_table(
+                ["family", "vertices", "regions", "window", "emitters", "peak_mem", "seconds"],
+                [
+                    [
+                        row["family"],
+                        row["num_vertices"],
+                        row["num_regions"],
+                        row["window_capacity"],
+                        row["num_emitters"],
+                        f"{row['peak_traced_bytes'] / 1e6:.2f}MB",
+                        f"{row['elapsed_seconds']:.2f}",
+                    ]
+                    for row in record["stream_results"]
+                ],
+            )
+        )
+    if record["peak_memory_bytes"]:
+        sections = "  ".join(
+            f"{name}={bytes_ / 1e6:.1f}MB"
+            for name, bytes_ in sorted(record["peak_memory_bytes"].items())
+        )
+        print(f"per-section tracemalloc peaks: {sections}")
     print(
         f"backend: {record['backend']}  git: {record['git_rev']}  "
         f"repeats: {record['repeats']}"

@@ -1,57 +1,64 @@
-"""Bitset-native reduction fast path.
+"""Arena-native reduction fast path.
 
-:class:`PackedReductionState` is a drop-in replacement for
-:class:`repro.core.reduction.ReductionState` that stores the working graph as
-one arbitrary-precision integer adjacency row per vertex — the same
-representation as :class:`repro.graphs.graph_state.PackedAdjacency` — instead
-of a tuple-keyed :class:`networkx` graph.  Vertex indices are fixed:
+:class:`ArenaReductionState` is the third drop-in implementation of the
+reduction-state protocol (next to the :class:`networkx` oracle
+:class:`repro.core.reduction.ReductionState` and the big-int
+:class:`repro.core.packed_reduction.PackedReductionState`).  The working
+graph lives in one preallocated 2-D ``np.uint64`` arena — one word row per
+vertex, column ``j`` in bit ``j % 64`` of word ``j // 64`` — with the same
+fixed bit layout as the packed state:
 
 * photon ``p`` occupies bit ``p`` (``0 <= p < num_photons``);
-* emitter ``e`` occupies bit ``num_photons + e`` (ids are allocated
-  sequentially, so the row list simply grows).
+* emitter ``e`` occupies bit ``num_photons + e`` (the arena doubles its
+  emitter capacity when the pool outgrows it).
 
-Every reversed operation of the rewrite engine becomes a handful of word-run
-XOR/AND/mask updates (``O(n/64)`` per touched row), and the rule queries of
-the greedy strategy collapse to popcounts and row comparisons:
-
-* degree = ``row.bit_count()``;
-* dangling test = ``row.bit_count() == 1``;
-* twin test = integer row equality;
-* photon/emitter neighbour splits = one mask and one shift.
-
-The class answers the exact rule-query protocol of
-:class:`~repro.core.reduction.ReductionState` (same tie-breaking, same
+Every reversed operation is a vectorised ``np.bitwise_xor``/mask update over
+fancy-indexed neighbour rows and the rule queries are ``np.bitwise_count``
+popcounts, so no per-row Python integers are allocated on the hot path.  The
+class answers the exact rule-query protocol (same tie-breaking, same
 emitter-pool bookkeeping), so the greedy strategy produces **bit-identical
-operation sequences** — and therefore bit-identical forward circuits — on
-either state.  The dict-based state remains the oracle;
-``tests/test_packed_reduction.py`` property-tests the equivalence across the
-scenario zoo.  Selection follows :mod:`repro.utils.backend` like the other
-GF(2) kernels: :func:`make_reduction_state` returns the packed state on the
-``packed`` backend and the networkx oracle on ``dense``.
+operation sequences** — and therefore bit-identical forward circuits — on any
+of the three states; ``tests/test_arena.py`` property-tests the three-way
+equivalence across the scenario zoo.
+
+Per-instance selection: :func:`make_reduction_state` (in
+:mod:`repro.core.packed_reduction`) keeps the big-int state for small graphs
+and switches to the arena above a measured crossover
+(``REPRO_GF2_ARENA_THRESHOLD``), because numpy dispatch overhead loses to
+CPython's limb XOR below a few thousand vertices — see ``arena_results`` in
+``BENCH_emitters.json`` for the tracked crossover.
 """
 
 from __future__ import annotations
 
 from typing import Hashable, Sequence
 
+import numpy as np
+
 from repro.core.reduction import (
     InsufficientEmittersError,
     ReductionOp,
     ReductionOpType,
     ReductionSequence,
-    ReductionState,
 )
 from repro.graphs.graph_state import GraphState
-from repro.utils.backend import ARENA, PACKED, arena_auto_threshold, resolve_backend
-from repro.utils.misc import iter_bits
+from repro.utils.gf2_arena import bits_of_words, highest_bit_of_words
+from repro.utils.gf2_packed import words_per_row
 
-__all__ = ["PackedReductionState", "arena_auto_threshold", "make_reduction_state"]
+__all__ = ["ArenaReductionState"]
 
 Vertex = Hashable
 
+_WORD_BITS = 64
 
-class PackedReductionState:
-    """Mutable reduction state over integer-packed adjacency rows.
+
+def _word_bit(index: int) -> tuple[int, np.uint64]:
+    """``(word index, single-bit mask)`` addressing vertex bit ``index``."""
+    return index // _WORD_BITS, np.uint64(1 << (index % _WORD_BITS))
+
+
+class ArenaReductionState:
+    """Mutable reduction state over a preallocated ``np.uint64`` row arena.
 
     The public surface mirrors :class:`repro.core.reduction.ReductionState`
     exactly (construction, queries, the seven reversed operations, pool
@@ -80,21 +87,27 @@ class PackedReductionState:
         self.strict_budget = bool(strict_budget)
         self.emitters_over_budget = 0
 
-        self._photon_mask = (1 << self.num_photons) - 1
-        self._alive_photons = self._photon_mask
-        packed = target_graph.packed_adjacency()
-        if photon_order is None or packed.index == self.photon_of_vertex:
-            # The graph's cached packed rows already follow insertion order —
-            # exactly this state's photon indexing.  Order searches build
-            # many states over one subgraph; they all share the one snapshot.
-            self._rows = list(packed.rows)
-        else:
-            self._rows = [0] * self.num_photons
-            for u, v in target_graph.edges():
-                i, j = self.photon_of_vertex[u], self.photon_of_vertex[v]
-                self._rows[i] |= 1 << j
-                self._rows[j] |= 1 << i
+        n = self.num_photons
+        self._emitter_capacity = max(8, n // 16)
+        capacity = n + self._emitter_capacity
+        self._n_words = words_per_row(capacity)
+        self._arena = np.zeros((capacity, self._n_words), dtype=np.uint64)
+        for u, v in target_graph.edges():
+            i, j = self.photon_of_vertex[u], self.photon_of_vertex[v]
+            wi, bi = _word_bit(i)
+            wj, bj = _word_bit(j)
+            self._arena[i, wj] |= bj
+            self._arena[j, wi] |= bi
 
+        # Per-word masks selecting the photon bits of a row.
+        self._photon_mask = np.zeros(self._n_words, dtype=np.uint64)
+        full, rem = divmod(n, _WORD_BITS)
+        self._photon_mask[:full] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        if rem:
+            self._photon_mask[full] = np.uint64((1 << rem) - 1)
+
+        self._alive = np.ones(n, dtype=bool)
+        self._alive_count = n
         self.free_emitters: set[int] = set()
         self.active_emitters: set[int] = set()
         self.num_emitters_allocated = 0
@@ -108,9 +121,32 @@ class PackedReductionState:
         return self.num_photons + emitter
 
     def _ensure_row(self, emitter: int) -> None:
-        needed = self._eidx(emitter) + 1
-        if len(self._rows) < needed:
-            self._rows.extend([0] * (needed - len(self._rows)))
+        """Grow the arena (rows and word columns) to hold ``emitter``."""
+        if emitter < self._emitter_capacity:
+            return
+        new_capacity = max(self._emitter_capacity * 2, emitter + 1)
+        capacity = self.num_photons + new_capacity
+        n_words = words_per_row(capacity)
+        grown = np.zeros((capacity, n_words), dtype=np.uint64)
+        grown[: self._arena.shape[0], : self._n_words] = self._arena
+        self._arena = grown
+        if n_words != self._n_words:
+            mask = np.zeros(n_words, dtype=np.uint64)
+            mask[: self._n_words] = self._photon_mask
+            self._photon_mask = mask
+            self._n_words = n_words
+        self._emitter_capacity = new_capacity
+
+    def _popcount(self, row: np.ndarray) -> int:
+        return int(np.bitwise_count(row).sum())
+
+    def _emitter_bits(self, row: np.ndarray) -> np.ndarray:
+        """Ascending emitter ids present in ``row``."""
+        return bits_of_words(row & ~self._photon_mask) - self.num_photons
+
+    def _row_is_single_bit(self, row: np.ndarray, index: int) -> bool:
+        word, bit = _word_bit(index)
+        return bool(row[word] & bit) and self._popcount(row) == 1
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -118,38 +154,38 @@ class PackedReductionState:
 
     def remaining_photons(self) -> list[int]:
         """Photon indices still present in the working graph."""
-        return list(iter_bits(self._alive_photons))
+        return [int(p) for p in np.nonzero(self._alive)[0]]
 
     def photon_in_graph(self, photon: int) -> bool:
         if not 0 <= photon < self.num_photons:
             return False
-        return bool((self._alive_photons >> photon) & 1)
+        return bool(self._alive[photon])
 
     def photon_neighbors(self, photon: int) -> tuple[set[int], set[int]]:
         """Neighbours of a photon, split into (photon indices, emitter ids)."""
-        row = self._rows[photon]
+        row = self._arena[photon]
         return (
-            set(iter_bits(row & self._photon_mask)),
-            set(iter_bits(row >> self.num_photons)),
+            {int(b) for b in bits_of_words(row & self._photon_mask)},
+            {int(b) for b in self._emitter_bits(row)},
         )
 
     def emitter_neighbors(self, emitter: int) -> tuple[set[int], set[int]]:
         """Neighbours of an emitter, split into (photon indices, emitter ids)."""
-        row = self._rows[self._eidx(emitter)]
+        row = self._arena[self._eidx(emitter)]
         return (
-            set(iter_bits(row & self._photon_mask)),
-            set(iter_bits(row >> self.num_photons)),
+            {int(b) for b in bits_of_words(row & self._photon_mask)},
+            {int(b) for b in self._emitter_bits(row)},
         )
 
     def emitter_degree(self, emitter: int) -> int:
-        return self._rows[self._eidx(emitter)].bit_count()
+        return self._popcount(self._arena[self._eidx(emitter)])
 
     def photon_degree(self, photon: int) -> int:
-        return self._rows[photon].bit_count()
+        return self._popcount(self._arena[photon])
 
     def is_done(self) -> bool:
         """True when every photon has been removed and every emitter is free."""
-        return not self._alive_photons and not self.active_emitters
+        return self._alive_count == 0 and not self.active_emitters
 
     # ------------------------------------------------------------------ #
     # Rule queries (bit-identical to the dict-based oracle)
@@ -157,48 +193,55 @@ class PackedReductionState:
 
     def photon_neighbor_counts(self, photon: int) -> tuple[int, int]:
         """``(#photon neighbours, #emitter neighbours)`` of a photon."""
-        row = self._rows[photon]
-        return (row & self._photon_mask).bit_count(), (row >> self.num_photons).bit_count()
+        row = self._arena[photon]
+        photon_count = self._popcount(row & self._photon_mask)
+        return photon_count, self._popcount(row) - photon_count
 
     def find_dangling_emitter(self, photon: int) -> int | None:
         """Smallest emitter adjacent to ``photon`` whose only neighbour is it."""
         n = self.num_photons
-        for bit in iter_bits(self._rows[photon] >> n):
-            if self._rows[n + bit].bit_count() == 1:
-                return bit
+        for emitter in self._emitter_bits(self._arena[photon]):
+            if self._popcount(self._arena[n + int(emitter)]) == 1:
+                return int(emitter)
         return None
 
     def find_leaf_host(self, photon: int) -> int | None:
         """The emitter hosting ``photon`` when the photon has degree 1."""
-        row = self._rows[photon]
-        if row.bit_count() != 1:
+        row = self._arena[photon]
+        if self._popcount(row) != 1:
             return None
-        bit = row.bit_length() - 1
+        bit = highest_bit_of_words(row)
         return bit - self.num_photons if bit >= self.num_photons else None
 
     def find_twin_emitter(self, photon: int) -> int | None:
         """First active emitter (ascending id) that is a non-adjacent twin."""
-        row = self._rows[photon]
+        if not self.active_emitters:
+            return None
+        row = self._arena[photon]
         n = self.num_photons
-        for emitter in sorted(self.active_emitters):
-            if (row >> (n + emitter)) & 1:
+        actives = np.array(sorted(self.active_emitters), dtype=np.int64)
+        rows_equal = (self._arena[n + actives] == row).all(axis=1)
+        for emitter, equal in zip(actives, rows_equal):
+            if not equal:
                 continue
-            if self._rows[n + emitter] == row:
-                return emitter
+            word, bit = _word_bit(n + int(emitter))
+            if row[word] & bit:
+                continue  # adjacent: ABSORB_TWIN requires non-adjacent twins
+            return int(emitter)
         return None
 
     def disconnect_absorb_candidate(self, photon: int) -> tuple[int, int] | None:
         """Best ``(cost, emitter)`` for the disconnect-absorb move, or ``None``."""
         n = self.num_photons
-        photon_bit = 1 << photon
         best: tuple[int, int] | None = None
-        for e in iter_bits(self._rows[photon] >> n):
-            erow = self._rows[n + e]
-            if erow & self._photon_mask != photon_bit:
+        for emitter in self._emitter_bits(self._arena[photon]):
+            erow = self._arena[n + int(emitter)]
+            photon_part = erow & self._photon_mask
+            if not self._row_is_single_bit(photon_part, photon):
                 continue  # the emitter has other photon neighbours
-            cost = (erow >> n).bit_count()
+            cost = self._popcount(erow) - 1
             if best is None or cost < best[0]:
-                best = (cost, e)
+                best = (cost, int(emitter))
         return best
 
     def liberation_candidate(self) -> tuple[int, int] | None:
@@ -206,10 +249,10 @@ class PackedReductionState:
         n = self.num_photons
         best: tuple[int, int] | None = None
         for emitter in sorted(self.active_emitters):
-            erow = self._rows[n + emitter]
-            if erow & self._photon_mask:
+            erow = self._arena[n + emitter]
+            if np.any(erow & self._photon_mask):
                 continue
-            cost = (erow >> n).bit_count()
+            cost = self._popcount(erow)
             if best is None or cost < best[0]:
                 best = (cost, emitter)
         return best
@@ -250,20 +293,21 @@ class PackedReductionState:
 
     def _remove_vertex_bit(self, index: int) -> None:
         """Clear ``index``'s bit from every neighbour row and zero its row."""
-        bit = 1 << index
-        for j in iter_bits(self._rows[index]):
-            self._rows[j] &= ~bit
-        self._rows[index] = 0
+        neighbours = bits_of_words(self._arena[index])
+        word, bit = _word_bit(index)
+        self._arena[neighbours, word] &= ~bit
+        self._arena[index] = 0
 
     def _replace_photon_by_emitter(self, photon: int, emitter_index: int) -> None:
         """Move ``photon``'s neighbourhood onto row ``emitter_index``."""
-        row = self._rows[photon]
-        photon_bit = 1 << photon
-        emitter_bit = 1 << emitter_index
-        self._rows[emitter_index] = row
-        for j in iter_bits(row):
-            self._rows[j] = (self._rows[j] & ~photon_bit) | emitter_bit
-        self._rows[photon] = 0
+        row = self._arena[photon].copy()
+        neighbours = bits_of_words(row)
+        self._arena[emitter_index] = row
+        p_word, p_bit = _word_bit(photon)
+        e_word, e_bit = _word_bit(emitter_index)
+        self._arena[neighbours, p_word] &= ~p_bit
+        self._arena[neighbours, e_word] |= e_bit
+        self._arena[photon] = 0
 
     # ------------------------------------------------------------------ #
     # Reversed operations
@@ -275,7 +319,8 @@ class PackedReductionState:
             raise ValueError(f"photon {photon} is not in the working graph")
         emitter_id = self.acquire_free_emitter(preferred=emitter)
         self._replace_photon_by_emitter(photon, self._eidx(emitter_id))
-        self._alive_photons &= ~(1 << photon)
+        self._alive[photon] = False
+        self._alive_count -= 1
         self.operations.append(
             ReductionOp(ReductionOpType.SWAP, emitter=emitter_id, photon=photon, tag=tag)
         )
@@ -286,14 +331,16 @@ class PackedReductionState:
         if not self.photon_in_graph(photon):
             raise ValueError(f"photon {photon} is not in the working graph")
         eidx = self._eidx(emitter)
-        if self._rows[photon] != 1 << eidx:
+        if not self._row_is_single_bit(self._arena[photon], eidx):
             raise ValueError(
                 f"photon {photon} is not dangling on emitter {emitter}; "
                 "ABSORB_LEAF precondition violated"
             )
-        self._rows[eidx] &= ~(1 << photon)
-        self._rows[photon] = 0
-        self._alive_photons &= ~(1 << photon)
+        p_word, p_bit = _word_bit(photon)
+        self._arena[eidx, p_word] &= ~p_bit
+        self._arena[photon] = 0
+        self._alive[photon] = False
+        self._alive_count -= 1
         self.operations.append(
             ReductionOp(ReductionOpType.ABSORB_LEAF, emitter=emitter, photon=photon, tag=tag)
         )
@@ -303,19 +350,22 @@ class PackedReductionState:
         if not self.photon_in_graph(photon):
             raise ValueError(f"photon {photon} is not in the working graph")
         eidx = self._eidx(emitter)
-        if self._rows[eidx] != 1 << photon:
+        if not self._row_is_single_bit(self._arena[eidx], photon):
             raise ValueError(
                 f"emitter {emitter} is not dangling on photon {photon}; "
                 "ABSORB_DANGLING precondition violated"
             )
-        photon_bit = 1 << photon
-        emitter_bit = 1 << eidx
-        inherited = self._rows[photon] & ~emitter_bit
-        self._rows[eidx] = inherited
-        for j in iter_bits(inherited):
-            self._rows[j] = (self._rows[j] & ~photon_bit) | emitter_bit
-        self._rows[photon] = 0
-        self._alive_photons &= ~photon_bit
+        e_word, e_bit = _word_bit(eidx)
+        inherited = self._arena[photon].copy()
+        inherited[e_word] &= ~e_bit
+        self._arena[eidx] = inherited
+        neighbours = bits_of_words(inherited)
+        p_word, p_bit = _word_bit(photon)
+        self._arena[neighbours, p_word] &= ~p_bit
+        self._arena[neighbours, e_word] |= e_bit
+        self._arena[photon] = 0
+        self._alive[photon] = False
+        self._alive_count -= 1
         self.operations.append(
             ReductionOp(
                 ReductionOpType.ABSORB_DANGLING, emitter=emitter, photon=photon, tag=tag
@@ -327,18 +377,20 @@ class PackedReductionState:
         if not self.photon_in_graph(photon):
             raise ValueError(f"photon {photon} is not in the working graph")
         eidx = self._eidx(emitter)
-        if (self._rows[photon] >> eidx) & 1:
+        e_word, e_bit = _word_bit(eidx)
+        if self._arena[photon, e_word] & e_bit:
             raise ValueError(
                 f"photon {photon} and emitter {emitter} are adjacent; "
                 "ABSORB_TWIN requires non-adjacent twins"
             )
-        if self._rows[photon] != self._rows[eidx]:
+        if not np.array_equal(self._arena[photon], self._arena[eidx]):
             raise ValueError(
                 f"photon {photon} and emitter {emitter} are not twins; "
                 "ABSORB_TWIN precondition violated"
             )
         self._remove_vertex_bit(photon)
-        self._alive_photons &= ~(1 << photon)
+        self._alive[photon] = False
+        self._alive_count -= 1
         self.operations.append(
             ReductionOp(ReductionOpType.ABSORB_TWIN, emitter=emitter, photon=photon, tag=tag)
         )
@@ -346,12 +398,14 @@ class PackedReductionState:
     def apply_disconnect(self, emitter_a: int, emitter_b: int, tag: str = "") -> None:
         """Remove an emitter-emitter edge (forward: one CZ gate)."""
         idx_a, idx_b = self._eidx(emitter_a), self._eidx(emitter_b)
-        if not (self._rows[idx_a] >> idx_b) & 1:
+        a_word, a_bit = _word_bit(idx_a)
+        b_word, b_bit = _word_bit(idx_b)
+        if not self._arena[idx_a, b_word] & b_bit:
             raise ValueError(
                 f"emitters {emitter_a} and {emitter_b} are not adjacent; nothing to disconnect"
             )
-        self._rows[idx_a] &= ~(1 << idx_b)
-        self._rows[idx_b] &= ~(1 << idx_a)
+        self._arena[idx_a, b_word] &= ~b_bit
+        self._arena[idx_b, a_word] &= ~a_bit
         self.operations.append(
             ReductionOp(
                 ReductionOpType.DISCONNECT, emitter=emitter_a, emitter_b=emitter_b, tag=tag
@@ -362,7 +416,7 @@ class PackedReductionState:
         """Remove an isolated photon (forward: emit an unentangled photon)."""
         if not self.photon_in_graph(photon):
             raise ValueError(f"photon {photon} is not in the working graph")
-        if self._rows[photon]:
+        if np.any(self._arena[photon]):
             raise ValueError(f"photon {photon} is not isolated")
         if emitter is not None and emitter in self.free_emitters:
             emitter_id = emitter
@@ -374,7 +428,8 @@ class PackedReductionState:
             emitter_id = self.acquire_free_emitter()
             self.active_emitters.discard(emitter_id)
             self.free_emitters.add(emitter_id)
-        self._alive_photons &= ~(1 << photon)
+        self._alive[photon] = False
+        self._alive_count -= 1
         self.operations.append(
             ReductionOp(
                 ReductionOpType.EMIT_ISOLATED, emitter=emitter_id, photon=photon, tag=tag
@@ -386,7 +441,7 @@ class PackedReductionState:
         """Release an isolated active emitter back into the free pool."""
         if emitter not in self.active_emitters:
             raise ValueError(f"emitter {emitter} is not active")
-        if self._rows[self._eidx(emitter)]:
+        if np.any(self._arena[self._eidx(emitter)]):
             raise ValueError(f"emitter {emitter} is not isolated and cannot be freed")
         self.active_emitters.discard(emitter)
         self.free_emitters.add(emitter)
@@ -398,7 +453,7 @@ class PackedReductionState:
         """Free every active emitter that has become isolated; return their ids."""
         freed = []
         for emitter in sorted(self.active_emitters):
-            if not self._rows[self._eidx(emitter)]:
+            if not np.any(self._arena[self._eidx(emitter)]):
                 self.apply_free_emitter(emitter, tag=tag)
                 freed.append(emitter)
         return freed
@@ -409,11 +464,11 @@ class PackedReductionState:
 
     def disconnect_all_emitter_edges(self, tag: str = "") -> int:
         """Remove every remaining emitter-emitter edge in one sorted pass."""
-        n = self.num_photons
         pairs = [
-            (emitter, emitter + 1 + shifted)
+            (emitter, int(other))
             for emitter in sorted(self.active_emitters)
-            for shifted in iter_bits(self._rows[n + emitter] >> (n + emitter + 1))
+            for other in self._emitter_bits(self._arena[self._eidx(emitter)])
+            if int(other) > emitter
         ]
         for a, b in pairs:
             self.apply_disconnect(a, b, tag=tag)
@@ -421,7 +476,7 @@ class PackedReductionState:
 
     def finish(self, tag: str = "") -> ReductionSequence:
         """Disconnect leftover emitter edges, free emitters, return the sequence."""
-        if self._alive_photons:
+        if self._alive_count:
             raise RuntimeError(
                 "cannot finish the reduction: photons remain in the working graph "
                 f"({self.remaining_photons()})"
@@ -437,41 +492,3 @@ class PackedReductionState:
             photon_of_vertex=dict(self.photon_of_vertex),
             emitters_over_budget=self.emitters_over_budget,
         )
-
-
-def make_reduction_state(
-    target_graph: GraphState,
-    emitter_budget: int | None = None,
-    strict_budget: bool = False,
-    photon_order: Sequence[Vertex] | None = None,
-    backend: str | None = None,
-) -> "ReductionState | PackedReductionState":
-    """Build a reduction state on the selected GF(2) backend.
-
-    ``backend=None`` resolves to the process default
-    (:func:`repro.utils.backend.get_default_backend`): ``packed`` returns the
-    bitset-native :class:`PackedReductionState`, ``arena`` the word-arena
-    :class:`~repro.core.arena_reduction.ArenaReductionState`, and ``dense``
-    the networkx-backed :class:`~repro.core.reduction.ReductionState` oracle.
-    All three produce bit-identical operation sequences for identical inputs.
-    The arena state runs only when selected explicitly (argument or
-    ``REPRO_GF2_BACKEND``): reduction updates are single-row operations with
-    nothing to batch, so the packed big-int rows stay faster at every
-    measured size and the ``packed`` default is never auto-upgraded here
-    (unlike the bulk elimination kernels in :mod:`repro.utils.gf2`).
-    """
-    resolved = resolve_backend(backend)
-    if resolved == ARENA:
-        from repro.core.arena_reduction import ArenaReductionState
-
-        cls = ArenaReductionState
-    elif resolved == PACKED:
-        cls = PackedReductionState
-    else:
-        cls = ReductionState
-    return cls(
-        target_graph,
-        emitter_budget=emitter_budget,
-        strict_budget=strict_budget,
-        photon_order=photon_order,
-    )

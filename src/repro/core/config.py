@@ -78,8 +78,15 @@ class CompilerConfig:
             set).  Ignored by the plain compiler.
         verify: re-simulate compiled circuits on the stabilizer tableau.
         gf2_backend: GF(2)/tableau kernel backend pinned for the whole
-            compilation (``"dense"`` or ``"packed"``); ``None`` keeps the
-            process default of :mod:`repro.utils.backend`.
+            compilation (``"dense"``, ``"packed"`` or ``"arena"``); ``None``
+            keeps the process default of :mod:`repro.utils.backend` (which
+            auto-selects ``arena`` above the measured per-instance crossover,
+            see ``REPRO_GF2_ARENA_THRESHOLD``).
+        stream_chunk: region size (lattice rows / photons per region) used by
+            the streaming partition-compile pipeline
+            (:mod:`repro.core.streaming`) when a lazy generator spec does not
+            fix its own chunking.  Larger chunks lower per-region overhead,
+            smaller chunks lower the peak working-set memory.
         hardware: hardware model (gate durations, loss).
         seed: seed for the stochastic components (ordering search sampling,
             annealing).
@@ -104,6 +111,7 @@ class CompilerConfig:
     portfolio_budget: int | None = None
     verify: bool = False
     gf2_backend: str | None = None
+    stream_chunk: int = 4
     hardware: HardwareModel = field(default_factory=quantum_dot)
     seed: int = 7
 
@@ -149,6 +157,8 @@ class CompilerConfig:
                 f"gf2_backend must be one of {BACKENDS} or None, "
                 f"got {self.gf2_backend!r}"
             )
+        if self.stream_chunk < 1:
+            raise ValueError(f"stream_chunk must be >= 1, got {self.stream_chunk}")
 
     def with_overrides(self, **kwargs) -> "CompilerConfig":
         """Return a copy with the given fields replaced."""

@@ -33,7 +33,7 @@ from repro.graphs.local_complementation import (
     lc_toggle_deltas,
     local_complement,
 )
-from repro.utils.backend import PACKED, resolve_backend
+from repro.utils.backend import DENSE, resolve_backend
 from repro.solvers.mip import BinaryLinearProgram, MIPStatus, solve_binary_program
 from repro.solvers.partition_heuristics import (
     balanced_greedy_partition,
@@ -205,7 +205,7 @@ class GraphPartitioner:
 
         current_blocks = best_blocks
         remaining_budget = config.lc_budget
-        packed_scoring = resolve_backend(None) == PACKED
+        packed_scoring = resolve_backend(None) != DENSE
         while remaining_budget > 0:
             # Evaluate one LC move per vertex against the *current* partition
             # (cheap proxy).  A move is attractive when it reduces the cut, or

@@ -21,10 +21,19 @@ Four sections pin the compiler's perf trajectory:
   :class:`repro.core.portfolio.PortfolioCompiler` across zoo families: each
   strategy rung timed once and replayed against a deadline grid (the curve
   is monotone by construction — the CI gate), plus live deadline-bounded
-  compiles recording elapsed time and deadline misses.
+  compiles recording elapsed time and deadline misses;
+* **arena kernels** — arena-vs-packed medians for the bulk GF(2)
+  elimination kernels across matrix widths, with the measured crossover
+  size (the figure the auto-selection threshold tracks) and a
+  reduction/circuit comparison asserted bit-identical;
+* **streaming compile** — bounded-window partition-compiles of >= 1e5-vertex
+  lattice/GHZ families under ``tracemalloc``, with a sublinear-peak-memory
+  guard and (at small sizes) bit-identity against the whole-graph oracle.
 
-``repro bench`` writes the result to ``BENCH_emitters.json`` so future PRs
-(and the CI bench-smoke artifact) can diff the numbers instead of guessing.
+Every section also records its :mod:`tracemalloc` peak in
+``peak_memory_bytes``.  ``repro bench`` writes the result to
+``BENCH_emitters.json`` so future PRs (and the CI bench-smoke artifact) can
+diff the numbers instead of guessing.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ import json
 import platform
 import subprocess
 import time
+import tracemalloc
 from pathlib import Path
 from typing import Callable, Hashable, Sequence
 
@@ -46,18 +56,23 @@ from repro.utils.backend import get_default_backend, resolve_backend, use_backen
 
 __all__ = [
     "CACHE_BENCH_FAMILIES",
+    "DEFAULT_ARENA_SIZES",
     "DEFAULT_BENCH_SIZES",
     "DEFAULT_CACHE_SIZES",
     "DEFAULT_COMPILE_SIZES",
     "DEFAULT_PORTFOLIO_DEADLINES_MS",
     "DEFAULT_PORTFOLIO_SIZES",
+    "DEFAULT_STREAM_SIZES",
     "PORTFOLIO_BENCH_FAMILIES",
+    "STREAM_BENCH_FAMILIES",
     "bench_graph",
     "naive_height_function",
+    "run_arena_bench",
     "run_cache_bench",
     "run_compile_bench",
     "run_emitter_bench",
     "run_portfolio_bench",
+    "run_stream_bench",
     "write_bench_file",
 ]
 
@@ -91,6 +106,30 @@ DEFAULT_PORTFOLIO_DEADLINES_MS = (50.0, 200.0, 1000.0, 5000.0)
 #: structured rewired one, and a star-shaped family the selector halves the
 #: anneal budget for.
 PORTFOLIO_BENCH_FAMILIES = ("regular", "smallworld", "ghz")
+
+#: Default matrix widths for the arena-vs-packed kernel section.  The sweep
+#: straddles :data:`repro.utils.backend.DEFAULT_ARENA_THRESHOLD` so the
+#: measured crossover lands inside it.
+DEFAULT_ARENA_SIZES = (64, 128, 256, 512, 1024)
+
+#: Vertex count of the arena-vs-packed reduction/circuit comparison (one
+#: size: the point of the entry is bit-identity plus a representative pair
+#: of medians, not a second sweep).
+DEFAULT_ARENA_REDUCE_SIZE = 256
+
+#: Default vertex counts for the streaming-compile section.  The top size is
+#: the paper-scale >= 1e5-vertex point the tentpole targets; the 4x size
+#: ratio against the lower point is what the sublinear-memory guard checks.
+DEFAULT_STREAM_SIZES = (25_600, 102_400)
+
+#: Families swept by the streaming section: the 2-D lattice (window =
+#: O(sqrt(n)) for square grids) and the GHZ star (window = one leaf chunk
+#: plus the pinned hub).
+STREAM_BENCH_FAMILIES = ("lattice", "ghz")
+
+#: Streamed compiles at or below this vertex count are additionally verified
+#: bit-identical against ``greedy_reduce`` on the materialised graph.
+STREAM_VERIFY_LIMIT = 2_500
 
 
 def bench_graph(num_vertices: int, seed: int = 2025) -> GraphState:
@@ -471,6 +510,266 @@ def run_portfolio_bench(
     return results
 
 
+def _traced_peak(func: Callable[[], object]) -> tuple[object, int]:
+    """Run ``func`` and return ``(result, peak traced bytes)``.
+
+    Uses :mod:`tracemalloc` so the figure is allocation truth, not RSS noise.
+    Nest-safe: when tracing is already active the peak counter is reset
+    instead of restarted, so sections can wrap sub-sections.
+    """
+    already = tracemalloc.is_tracing()
+    if not already:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        result = func()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not already:
+            tracemalloc.stop()
+    return result, int(peak)
+
+
+def run_arena_bench(
+    sizes: Sequence[int] = DEFAULT_ARENA_SIZES,
+    repeats: int = 3,
+    seed: int = 2025,
+    reduce_size: int = DEFAULT_ARENA_REDUCE_SIZE,
+) -> dict:
+    """Arena-vs-packed GF(2) kernel medians and the measured crossover.
+
+    Two sub-sections:
+
+    * **kernel sweep** — square random matrices of every width in ``sizes``
+      pushed through both implementations of the bulk Gauss–Jordan kernels
+      (``rref``; ``rank`` is reported alongside as the roughly-at-parity
+      comparator), results asserted bit-identical, medians recorded.  The
+      ``crossover_size`` is the smallest swept width where the arena rref
+      beats packed — the figure
+      :data:`repro.utils.backend.DEFAULT_ARENA_THRESHOLD` tracks.
+    * **reduction comparison** — one ``greedy_reduce`` plus one
+      :class:`~repro.graphs.incremental.CutRankEngine` sweep at
+      ``reduce_size`` vertices on each backend, with the operation sequences,
+      the forward **circuits** and the height profiles asserted bit-identical
+      before timing.  (Single-row online updates have nothing to batch, so
+      packed is expected to lead here — the point of recording both is to
+      keep the auto-selection boundary honest.)
+
+    Returns
+    -------
+    dict
+        JSON-serialisable record with ``kernel_results``, ``crossover_size``
+        and the reduction/heights medians.
+    """
+    from repro.core.strategies import greedy_reduce
+    from repro.utils import gf2_arena, gf2_packed
+    from repro.utils.backend import DEFAULT_ARENA_THRESHOLD
+
+    rng = np.random.default_rng(seed)
+    kernel_results = []
+    crossover = None
+    for size in sizes:
+        matrix = rng.integers(0, 2, size=(int(size), int(size)), dtype=np.uint8)
+        packed_rref, packed_pivots = gf2_packed.packed_gf2_rref(matrix)
+        arena_rref, arena_pivots = gf2_arena.arena_gf2_rref(matrix)
+        if packed_pivots != arena_pivots or not np.array_equal(packed_rref, arena_rref):
+            raise AssertionError(  # pragma: no cover - correctness guard
+                f"arena rref diverges from the packed result at width {size}"
+            )
+        if gf2_packed.packed_gf2_rank(matrix) != gf2_arena.arena_gf2_rank(matrix):
+            raise AssertionError(  # pragma: no cover - correctness guard
+                f"arena rank diverges from the packed result at width {size}"
+            )
+        packed_rref_median = _median_seconds(
+            lambda m=matrix: gf2_packed.packed_gf2_rref(m), repeats
+        )
+        arena_rref_median = _median_seconds(
+            lambda m=matrix: gf2_arena.arena_gf2_rref(m), repeats
+        )
+        packed_rank_median = _median_seconds(
+            lambda m=matrix: gf2_packed.packed_gf2_rank(m), repeats
+        )
+        arena_rank_median = _median_seconds(
+            lambda m=matrix: gf2_arena.arena_gf2_rank(m), repeats
+        )
+        if crossover is None and arena_rref_median < packed_rref_median:
+            crossover = int(size)
+        kernel_results.append(
+            {
+                "size": int(size),
+                "packed_rref_median_seconds": packed_rref_median,
+                "arena_rref_median_seconds": arena_rref_median,
+                "rref_speedup": (
+                    packed_rref_median / arena_rref_median
+                    if arena_rref_median > 0
+                    else float("inf")
+                ),
+                "packed_rank_median_seconds": packed_rank_median,
+                "arena_rank_median_seconds": arena_rank_median,
+            }
+        )
+
+    graph = bench_graph(int(reduce_size), seed=seed)
+    packed_seq = greedy_reduce(graph, backend="packed")
+    arena_seq = greedy_reduce(graph, backend="arena")
+    if packed_seq.operations != arena_seq.operations:
+        raise AssertionError(  # pragma: no cover - correctness guard
+            f"arena reduction diverges from packed at size {reduce_size}"
+        )
+    if packed_seq.to_circuit().gates != arena_seq.to_circuit().gates:
+        raise AssertionError(  # pragma: no cover - correctness guard
+            f"arena circuit diverges from packed at size {reduce_size}"
+        )
+    ordering = graph.vertices()
+    packed_heights = CutRankEngine(graph, checkpoint=False, backend="packed").heights(
+        ordering
+    )
+    arena_heights = CutRankEngine(graph, checkpoint=False, backend="arena").heights(
+        ordering
+    )
+    if packed_heights != arena_heights:
+        raise AssertionError(  # pragma: no cover - correctness guard
+            f"arena heights diverge from packed at size {reduce_size}"
+        )
+    reduce_packed_median = _median_seconds(
+        lambda g=graph: greedy_reduce(g, backend="packed"), repeats
+    )
+    reduce_arena_median = _median_seconds(
+        lambda g=graph: greedy_reduce(g, backend="arena"), repeats
+    )
+    heights_packed_median = _median_seconds(
+        lambda g=graph, o=ordering: CutRankEngine(
+            g, checkpoint=False, backend="packed"
+        ).heights(o),
+        repeats,
+    )
+    heights_arena_median = _median_seconds(
+        lambda g=graph, o=ordering: CutRankEngine(
+            g, checkpoint=False, backend="arena"
+        ).heights(o),
+        repeats,
+    )
+    return {
+        "sizes": [int(s) for s in sizes],
+        "kernel_results": kernel_results,
+        "crossover_size": crossover,
+        "default_threshold": DEFAULT_ARENA_THRESHOLD,
+        "reduce_size": int(reduce_size),
+        "circuits_bit_identical": True,
+        "reduce_packed_median_seconds": reduce_packed_median,
+        "reduce_arena_median_seconds": reduce_arena_median,
+        "heights_packed_median_seconds": heights_packed_median,
+        "heights_arena_median_seconds": heights_arena_median,
+    }
+
+
+def run_stream_bench(
+    sizes: Sequence[int] = DEFAULT_STREAM_SIZES,
+    families: Sequence[str] = STREAM_BENCH_FAMILIES,
+    seed: int = 2025,
+    chunk: int | None = 1,
+    verify_limit: int = STREAM_VERIFY_LIMIT,
+) -> list[dict]:
+    """Streaming partition-compiles with tracked (sublinear) peak memory.
+
+    Every ``(family, size)`` point runs one :func:`repro.core.streaming.
+    compile_stream` under :mod:`tracemalloc` and records the traced peak,
+    the window statistics and the compile outcome.  Sizes at or below
+    ``verify_limit`` are additionally compiled with operation collection and
+    asserted **bit-identical** to ``greedy_reduce`` on the materialised
+    graph — the CI smoke run drives this path with tiny sizes.
+
+    After the sweep, every family whose largest/smallest size ratio is at
+    least 4 must show a traced-peak ratio below three quarters of the size
+    ratio — the sublinear-memory guard (square lattices scale the window as
+    ``O(sqrt(n))``, the GHZ star as ``O(1)``, so real regressions trip it
+    with a wide margin).  The guard only applies when the smallest swept
+    size has at least 2048 vertices: below that, fixed per-compile
+    overheads dominate the traced peak and the ratio is noise, so tiny CI
+    sweeps rely on the absolute memory ceiling instead.
+
+    Parameters
+    ----------
+    sizes : Sequence[int], optional
+        Approximate vertex counts to sweep.
+    families : Sequence[str], optional
+        Streaming families (subset of
+        :data:`repro.graphs.lazy.STREAM_FAMILIES`).
+    seed : int, optional
+        Spec seed (stochastic families only).
+    chunk : int | None, optional
+        Region size override (lattice rows per band / GHZ leaves per chunk);
+        ``None`` keeps each family's default.  The default of 1 lattice row
+        per band gives square grids their minimal ``O(sqrt(n))`` window.
+    verify_limit : int, optional
+        Largest size that is verified against the whole-graph oracle.
+
+    Returns
+    -------
+    list[dict]
+        One JSON-serialisable entry per ``(family, size)`` point.
+    """
+    from repro.core.strategies import greedy_reduce
+    from repro.core.streaming import compile_stream
+    from repro.graphs.lazy import make_stream_spec
+
+    results = []
+    for family in families:
+        family_entries = []
+        for size in sizes:
+            spec = make_stream_spec(family, int(size), seed=seed, chunk=chunk)
+            if spec.num_vertices <= verify_limit:
+                streamed = compile_stream(spec, collect_operations=True)
+                oracle = greedy_reduce(spec.materialize())
+                if (
+                    streamed.operations != oracle.operations
+                    or streamed.num_emitters != oracle.num_emitters
+                ):
+                    raise AssertionError(  # pragma: no cover - correctness guard
+                        f"streamed {family} compile diverges from the "
+                        f"whole-graph oracle at size {size}"
+                    )
+            result, peak_bytes = _traced_peak(lambda s=spec: compile_stream(s))
+            family_entries.append(
+                {
+                    "family": family,
+                    "size": int(size),
+                    "num_vertices": result.num_vertices,
+                    "num_regions": result.num_regions,
+                    "window_capacity": result.window_capacity,
+                    "peak_window_photons": result.peak_window_photons,
+                    "num_emitters": result.num_emitters,
+                    "num_operations": result.num_operations,
+                    "num_emissions": result.num_emissions,
+                    "num_emitter_emitter_gates": result.num_emitter_emitter_gates,
+                    "elapsed_seconds": result.elapsed_seconds,
+                    "peak_traced_bytes": peak_bytes,
+                    "verified_against_oracle": spec.num_vertices <= verify_limit,
+                }
+            )
+        if len(family_entries) >= 2:
+            smallest = min(family_entries, key=lambda e: e["num_vertices"])
+            largest = max(family_entries, key=lambda e: e["num_vertices"])
+            size_ratio = largest["num_vertices"] / max(1, smallest["num_vertices"])
+            peak_ratio = largest["peak_traced_bytes"] / max(
+                1, smallest["peak_traced_bytes"]
+            )
+            if (
+                size_ratio >= 4.0
+                and smallest["num_vertices"] >= 2048
+                and peak_ratio > 0.75 * size_ratio
+            ):
+                raise AssertionError(  # pragma: no cover - correctness guard
+                    f"streamed {family} peak memory is not sublinear: "
+                    f"peak ratio {peak_ratio:.2f} vs size ratio {size_ratio:.2f}"
+                )
+            for entry in family_entries:
+                entry["family_size_ratio"] = size_ratio
+                entry["family_peak_ratio"] = peak_ratio
+        results.extend(family_entries)
+    return results
+
+
 def run_emitter_bench(
     sizes: Sequence[int] = DEFAULT_BENCH_SIZES,
     repeats: int = 3,
@@ -480,6 +779,8 @@ def run_emitter_bench(
     cache_sizes: Sequence[int] = DEFAULT_CACHE_SIZES,
     portfolio_sizes: Sequence[int] = DEFAULT_PORTFOLIO_SIZES,
     portfolio_deadlines_ms: Sequence[float] = DEFAULT_PORTFOLIO_DEADLINES_MS,
+    arena_sizes: Sequence[int] = DEFAULT_ARENA_SIZES,
+    stream_sizes: Sequence[int] = DEFAULT_STREAM_SIZES,
 ) -> dict:
     """Measure naive-vs-incremental height functions across ``sizes``.
 
@@ -504,6 +805,12 @@ def run_emitter_bench(
         (:func:`run_portfolio_bench`); empty disables the section.
     portfolio_deadlines_ms : Sequence[float], optional
         Deadline grid for the anytime-portfolio section.
+    arena_sizes : Sequence[int], optional
+        Matrix widths for the arena-vs-packed kernel section
+        (:func:`run_arena_bench`); empty disables the section.
+    stream_sizes : Sequence[int], optional
+        Vertex counts for the streaming-compile section
+        (:func:`run_stream_bench`); empty disables the section.
 
     Returns
     -------
@@ -515,57 +822,80 @@ def run_emitter_bench(
         ``compile_results`` section with dense-vs-packed end-to-end
         ``compile_graph`` medians per size, a ``cache_results`` section
         with cold-vs-warm compile-cache medians per zoo family and size,
-        and a ``portfolio_results`` section with anytime quality-vs-deadline
-        curves per zoo family and size.
+        a ``portfolio_results`` section with anytime quality-vs-deadline
+        curves per zoo family and size, an ``arena_results`` section with
+        arena-vs-packed kernel medians and the measured crossover, a
+        ``stream_results`` section with bounded-window streaming compiles,
+        and ``peak_memory_bytes`` with the tracemalloc peak of every section.
     """
     resolved = resolve_backend(backend)
-    results = []
-    with use_backend(resolved):
-        for size in sizes:
-            graph = bench_graph(int(size), seed=seed)
-            ordering = graph.vertices()
-            naive = naive_height_function(graph, ordering)
-            incremental = CutRankEngine(graph, checkpoint=False).heights(ordering)
-            if naive != incremental:  # pragma: no cover - correctness guard
-                raise AssertionError(
-                    f"incremental heights diverge from the naive oracle at "
-                    f"size {size}"
+
+    def heights_section() -> list[dict]:
+        results = []
+        with use_backend(resolved):
+            for size in sizes:
+                graph = bench_graph(int(size), seed=seed)
+                ordering = graph.vertices()
+                naive = naive_height_function(graph, ordering)
+                incremental = CutRankEngine(graph, checkpoint=False).heights(ordering)
+                if naive != incremental:  # pragma: no cover - correctness guard
+                    raise AssertionError(
+                        f"incremental heights diverge from the naive oracle at "
+                        f"size {size}"
+                    )
+                naive_median = _median_seconds(
+                    lambda g=graph, o=ordering: naive_height_function(g, o), repeats
                 )
-            naive_median = _median_seconds(
-                lambda g=graph, o=ordering: naive_height_function(g, o), repeats
-            )
-            incremental_median = _median_seconds(
-                lambda g=graph, o=ordering: CutRankEngine(
-                    g, checkpoint=False
-                ).heights(o),
-                repeats,
-            )
-            greedy = optimize_emission_ordering(graph, strategy="greedy")
-            results.append(
-                {
-                    "size": int(size),
-                    "num_edges": graph.num_edges,
-                    "naive_median_seconds": naive_median,
-                    "incremental_median_seconds": incremental_median,
-                    "speedup": (
-                        naive_median / incremental_median
-                        if incremental_median > 0
-                        else float("inf")
-                    ),
-                    "natural_peak": max(naive),
-                    "greedy_peak": greedy.peak_height,
-                }
-            )
+                incremental_median = _median_seconds(
+                    lambda g=graph, o=ordering: CutRankEngine(
+                        g, checkpoint=False
+                    ).heights(o),
+                    repeats,
+                )
+                greedy = optimize_emission_ordering(graph, strategy="greedy")
+                results.append(
+                    {
+                        "size": int(size),
+                        "num_edges": graph.num_edges,
+                        "naive_median_seconds": naive_median,
+                        "incremental_median_seconds": incremental_median,
+                        "speedup": (
+                            naive_median / incremental_median
+                            if incremental_median > 0
+                            else float("inf")
+                        ),
+                        "natural_peak": max(naive),
+                        "greedy_peak": greedy.peak_height,
+                    }
+                )
+        return results
+
+    peak_memory: dict[str, int] = {}
+    results, peak_memory["heights"] = _traced_peak(heights_section)
     # The dense comparator makes end-to-end compiles expensive; cap the
     # compile-section repeats and record the capped value separately so two
     # records stay comparable.
     compile_repeats = min(int(repeats), 2)
-    compile_results = run_compile_bench(
-        sizes=compile_sizes, repeats=compile_repeats, seed=seed
+    compile_results, peak_memory["compile"] = _traced_peak(
+        lambda: run_compile_bench(sizes=compile_sizes, repeats=compile_repeats, seed=seed)
     )
-    cache_results = run_cache_bench(sizes=cache_sizes, repeats=compile_repeats)
-    portfolio_results = run_portfolio_bench(
-        sizes=portfolio_sizes, deadlines_ms=portfolio_deadlines_ms, seed=seed
+    cache_results, peak_memory["cache"] = _traced_peak(
+        lambda: run_cache_bench(sizes=cache_sizes, repeats=compile_repeats)
+    )
+    portfolio_results, peak_memory["portfolio"] = _traced_peak(
+        lambda: run_portfolio_bench(
+            sizes=portfolio_sizes, deadlines_ms=portfolio_deadlines_ms, seed=seed
+        )
+    )
+    arena_results, peak_memory["arena"] = _traced_peak(
+        lambda: (
+            run_arena_bench(sizes=arena_sizes, repeats=repeats, seed=seed)
+            if arena_sizes
+            else {}
+        )
+    )
+    stream_results, peak_memory["stream"] = _traced_peak(
+        lambda: run_stream_bench(sizes=stream_sizes, seed=seed) if stream_sizes else []
     )
     return {
         "benchmark": "emitters",
@@ -588,6 +918,12 @@ def run_emitter_bench(
         "portfolio_deadlines_ms": [float(d) for d in portfolio_deadlines_ms],
         "portfolio_families": list(PORTFOLIO_BENCH_FAMILIES),
         "portfolio_results": portfolio_results,
+        "arena_sizes": [int(s) for s in arena_sizes],
+        "arena_results": arena_results,
+        "stream_sizes": [int(s) for s in stream_sizes],
+        "stream_families": list(STREAM_BENCH_FAMILIES),
+        "stream_results": stream_results,
+        "peak_memory_bytes": peak_memory,
     }
 
 
@@ -601,6 +937,8 @@ def write_bench_file(
     cache_sizes: Sequence[int] = DEFAULT_CACHE_SIZES,
     portfolio_sizes: Sequence[int] = DEFAULT_PORTFOLIO_SIZES,
     portfolio_deadlines_ms: Sequence[float] = DEFAULT_PORTFOLIO_DEADLINES_MS,
+    arena_sizes: Sequence[int] = DEFAULT_ARENA_SIZES,
+    stream_sizes: Sequence[int] = DEFAULT_STREAM_SIZES,
 ) -> dict:
     """Run :func:`run_emitter_bench` and dump the record to ``path``."""
     record = run_emitter_bench(
@@ -612,6 +950,8 @@ def write_bench_file(
         cache_sizes=cache_sizes,
         portfolio_sizes=portfolio_sizes,
         portfolio_deadlines_ms=portfolio_deadlines_ms,
+        arena_sizes=arena_sizes,
+        stream_sizes=stream_sizes,
     )
     path = Path(path)
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,240 @@
+"""Lazy, region-chunked generator specs for very large graph families.
+
+The streaming partition-compile pipeline (:mod:`repro.core.streaming`) never
+materialises the target graph: it walks a *lazy generator spec* region by
+region, admitting each region's vertices and edges into a bounded working
+window.  A spec therefore has to expose its family through a random-access
+regional interface rather than one big :class:`networkx` object:
+
+* ``region(j)`` — the vertex ids of region ``j`` (ascending; the regions
+  partition ``0..n-1`` minus the pinned hub set);
+* ``region_edges(j)`` — every edge incident to region ``j`` whose other
+  endpoint lies in region ``j`` itself, region ``j + 1`` or the pinned set
+  (each edge of the graph is yielded by exactly one region);
+* ``pinned()`` — high-degree hub vertices (e.g. a GHZ star centre) that must
+  stay in the window for the whole compile.
+
+The *region locality contract* — every edge connects vertices at most one
+region apart, or a pinned hub — is what bounds the streaming window: regions
+are admitted in descending order and a region's photons can be reduced as
+soon as the next-lower region is present.  Stochastic families must be
+**memoryless**: :class:`PercolatedLatticeStreamSpec` decides each edge with a
+deterministic per-edge hash of ``(seed, u, v)`` so that region ``j`` can be
+generated without replaying the RNG stream of regions ``0..j-1``.
+
+``materialize()`` builds the identical graph eagerly; it exists for the
+bit-identity oracle tests and the CLI's ``--stream --verify`` path, and is
+obviously only usable at small sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.graphs.graph_state import GraphState
+from repro.utils.misc import check_positive
+
+__all__ = [
+    "GHZStreamSpec",
+    "LatticeStreamSpec",
+    "PercolatedLatticeStreamSpec",
+    "STREAM_FAMILIES",
+    "make_stream_spec",
+]
+
+Edge = tuple[int, int]
+
+#: Families the streaming pipeline can walk lazily.
+STREAM_FAMILIES = ("lattice", "percolated", "ghz")
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(seed: int, u: int, v: int) -> float:
+    """Deterministic per-edge uniform deviate in ``[0, 1)`` (splitmix-style).
+
+    Depends only on ``(seed, u, v)``, so edge decisions are random-access:
+    any region can be generated without an RNG stream shared across regions.
+    """
+    x = (
+        (seed + 0x9E3779B97F4A7C15) * 0xBF58476D1CE4E5B9
+        + u * 0x94D049BB133111EB
+        + v * 0xD6E8FEB86659FD93
+    ) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x / 2.0**64
+
+
+@dataclass(frozen=True)
+class LatticeStreamSpec:
+    """A ``rows x cols`` square-grid cluster state, chunked into row bands.
+
+    Vertex ``(r, c)`` is labelled ``r * cols + c`` exactly like
+    :func:`repro.graphs.generators.lattice_graph`; region ``j`` holds rows
+    ``j * chunk_rows .. min((j + 1) * chunk_rows, rows) - 1``, so the
+    streaming window never exceeds two bands (``O(chunk_rows * cols)``
+    vertices) regardless of ``rows``.
+    """
+
+    rows: int
+    cols: int
+    chunk_rows: int = 4
+
+    family = "lattice"
+
+    def __post_init__(self) -> None:
+        check_positive("rows", self.rows)
+        check_positive("cols", self.cols)
+        check_positive("chunk_rows", self.chunk_rows)
+
+    @property
+    def num_vertices(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def num_regions(self) -> int:
+        return -(-self.rows // self.chunk_rows)
+
+    def pinned(self) -> tuple[int, ...]:
+        return ()
+
+    def _band(self, j: int) -> range:
+        if not 0 <= j < self.num_regions:
+            raise IndexError(f"region {j} out of range (0..{self.num_regions - 1})")
+        return range(j * self.chunk_rows, min((j + 1) * self.chunk_rows, self.rows))
+
+    def region(self, j: int) -> range:
+        band = self._band(j)
+        return range(band.start * self.cols, band.stop * self.cols)
+
+    def _candidate_edges(self, j: int) -> Iterator[Edge]:
+        for r in self._band(j):
+            for c in range(self.cols):
+                v = r * self.cols + c
+                if c + 1 < self.cols:
+                    yield (v, v + 1)
+                if r + 1 < self.rows:
+                    yield (v, v + self.cols)
+
+    def region_edges(self, j: int) -> Iterator[Edge]:
+        return self._candidate_edges(j)
+
+    def materialize(self) -> GraphState:
+        from repro.graphs.generators import lattice_graph
+
+        return lattice_graph(self.rows, self.cols)
+
+
+@dataclass(frozen=True)
+class PercolatedLatticeStreamSpec(LatticeStreamSpec):
+    """Bond-percolated lattice with memoryless, hash-decided edges.
+
+    Every grid edge survives independently with probability ``survival``,
+    decided by :func:`_mix64` on ``(seed, u, v)`` — no RNG stream, so any
+    region is generated in isolation.  Unlike
+    :func:`repro.graphs.generators.percolated_lattice` there is no
+    connectivity repair (repair needs the global component structure, which a
+    streaming walk never holds); the compiler handles disconnected defect
+    states natively, so no repair is needed for correctness.
+    """
+
+    survival: float = 0.85
+    seed: int = 11
+
+    family = "percolated"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.survival <= 1.0:
+            raise ValueError(f"survival must be in (0, 1], got {self.survival}")
+
+    def region_edges(self, j: int) -> Iterator[Edge]:
+        for u, v in self._candidate_edges(j):
+            if _mix64(self.seed, u, v) < self.survival:
+                yield (u, v)
+
+    def materialize(self) -> GraphState:
+        graph = GraphState(vertices=range(self.num_vertices))
+        for j in range(self.num_regions):
+            for u, v in self.region_edges(j):
+                graph.add_edge(u, v)
+        return graph
+
+
+@dataclass(frozen=True)
+class GHZStreamSpec:
+    """The ``n``-qubit GHZ star graph, leaves chunked, hub pinned.
+
+    Matches :func:`repro.graphs.generators.ghz_graph` (star representation):
+    vertex 0 is the centre, every other vertex is a leaf attached to it.  The
+    centre is *pinned* — admitted before the first region and reduced after
+    the last — because every region touches it; the window therefore holds
+    one leaf chunk plus the hub.
+    """
+
+    num_vertices: int
+    chunk: int = 1024
+
+    family = "ghz"
+
+    def __post_init__(self) -> None:
+        check_positive("num_vertices", self.num_vertices)
+        check_positive("chunk", self.chunk)
+
+    @property
+    def num_regions(self) -> int:
+        return max(1, -(-(self.num_vertices - 1) // self.chunk))
+
+    def pinned(self) -> tuple[int, ...]:
+        return (0,)
+
+    def region(self, j: int) -> range:
+        if not 0 <= j < self.num_regions:
+            raise IndexError(f"region {j} out of range (0..{self.num_regions - 1})")
+        start = 1 + j * self.chunk
+        return range(start, min(start + self.chunk, self.num_vertices))
+
+    def region_edges(self, j: int) -> Iterator[Edge]:
+        for leaf in self.region(j):
+            yield (0, leaf)
+
+    def materialize(self) -> GraphState:
+        from repro.graphs.generators import ghz_graph
+
+        return ghz_graph(self.num_vertices)
+
+
+def make_stream_spec(
+    family: str,
+    size: int,
+    seed: int = 11,
+    chunk: int | None = None,
+    survival: float = 0.85,
+) -> "LatticeStreamSpec | PercolatedLatticeStreamSpec | GHZStreamSpec":
+    """Build a stream spec from the batch pipeline's ``(family, size, seed)``.
+
+    Grid families round ``size`` down to the closest ``rows x cols``
+    rectangle using the same convention as
+    :class:`repro.pipeline.jobs.GraphSpec` (``rows = floor(sqrt(size))``),
+    so a streamed job targets the same shape as its materialised twin.
+    ``chunk`` is the region size (lattice rows per band, GHZ leaves per
+    chunk); ``None`` picks the family default.
+    """
+    if family not in STREAM_FAMILIES:
+        raise ValueError(
+            f"unknown streaming family {family!r}; expected one of {STREAM_FAMILIES}"
+        )
+    check_positive("size", size)
+    if family == "ghz":
+        return GHZStreamSpec(num_vertices=size, chunk=chunk or 1024)
+    rows = max(2, int(math.floor(math.sqrt(size))))
+    cols = max(2, size // rows)
+    if family == "lattice":
+        return LatticeStreamSpec(rows=rows, cols=cols, chunk_rows=chunk or 4)
+    return PercolatedLatticeStreamSpec(
+        rows=rows, cols=cols, chunk_rows=chunk or 4, survival=survival, seed=seed
+    )

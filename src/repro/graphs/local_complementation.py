@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Hashable, Iterable, Mapping, Sequence
 
 from repro.graphs.graph_state import GraphState
-from repro.utils.backend import PACKED, resolve_backend
+from repro.utils.backend import DENSE, resolve_backend
 from repro.utils.misc import iter_bits
 
 __all__ = [
@@ -201,7 +201,7 @@ def minimize_edges_by_lc(
     """
     if max_operations < 0:
         raise ValueError(f"max_operations must be >= 0, got {max_operations}")
-    if resolve_backend(None) != PACKED:
+    if resolve_backend(None) == DENSE:
         return greedy_lc_for_objective(
             graph, max_operations, objective=lambda g: g.num_edges
         )

@@ -48,6 +48,7 @@ from repro.graphs.generators import (
 )
 from repro.core.ordering import ORDERING_STRATEGIES
 from repro.graphs.graph_state import GraphState
+from repro.graphs.lazy import STREAM_FAMILIES
 from repro.hardware.models import get_hardware_model
 from repro.utils.backend import BACKENDS
 from repro.utils.faults import FaultPoint
@@ -105,8 +106,13 @@ PRIORITY_CLASSES = ("high", "normal", "low")
 #: portfolio compiler (:mod:`repro.core.portfolio`), which changes the
 #: winning circuit whenever a later rung beats the natural baseline.
 #: v6: first-class ``compile_timeout_s`` wire field (the per-request
-#: watchdog bound enforced by service workers).
-JOB_SCHEMA_VERSION = 6
+#: watchdog bound enforced by service workers).  v7: first-class
+#: ``stream``/``stream_chunk`` wire fields — streamed ``compile`` jobs run
+#: :func:`repro.core.streaming.compile_stream` from a lazy generator spec
+#: instead of materialising the graph (new fields change every content
+#: hash, and streamed records carry window/memory stats instead of a
+#: circuit summary).
+JOB_SCHEMA_VERSION = 7
 
 
 @dataclass(frozen=True)
@@ -228,6 +234,19 @@ class BatchJob:
         answered with a structured timeout error (HTTP 504) instead of
         hanging the request.  ``None`` keeps the worker's configured
         default (``repro serve --compile-timeout-s``).
+    stream : bool, optional
+        Run the job through the streaming partition-compile pipeline
+        (:func:`repro.core.streaming.compile_stream`): the graph is built
+        region by region from a lazy generator spec and never materialised,
+        so peak memory is bounded by the window, not the graph.  Only
+        ``compile`` jobs of the streamable families
+        (:data:`repro.graphs.lazy.STREAM_FAMILIES`) accept it; the record
+        carries window/memory statistics instead of a circuit summary.
+    stream_chunk : int | None, optional
+        Region granularity for streamed jobs (rows per region for the
+        lattice families, photons per region for GHZ).  ``None`` uses the
+        compiler config's ``stream_chunk`` for the lattice families and the
+        GHZ spec's own default.  Requires ``stream=True``.
     config_overrides : tuple[tuple[str, object], ...], optional
         Extra :class:`repro.core.config.CompilerConfig` fields applied on top
         of the fast benchmark profile, as a sorted tuple of ``(name, value)``
@@ -244,6 +263,8 @@ class BatchJob:
     deadline_ms: float | None = None
     priority: str = "normal"
     compile_timeout_s: float | None = None
+    stream: bool = False
+    stream_chunk: int | None = None
     config_overrides: tuple[tuple[str, object], ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -270,6 +291,28 @@ class BatchJob:
             raise ValueError(
                 f"compile_timeout_s must be > 0, got {self.compile_timeout_s}"
             )
+        if self.stream:
+            if self.kind != "compile":
+                raise ValueError(
+                    f"stream=True only applies to 'compile' jobs, not {self.kind!r}"
+                )
+            if self.graph.family not in STREAM_FAMILIES:
+                raise ValueError(
+                    f"stream=True requires a streamable family "
+                    f"{STREAM_FAMILIES}, got {self.graph.family!r}"
+                )
+            if self.deadline_ms is not None:
+                raise ValueError(
+                    "stream=True jobs do not support deadline_ms (the "
+                    "streaming pipeline has no anytime portfolio)"
+                )
+        if self.stream_chunk is not None:
+            if not self.stream:
+                raise ValueError("stream_chunk requires stream=True")
+            if self.stream_chunk < 1:
+                raise ValueError(
+                    f"stream_chunk must be >= 1, got {self.stream_chunk}"
+                )
         if self.backend is not None and self.backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {BACKENDS} or None, got {self.backend!r}"
@@ -344,6 +387,8 @@ class BatchJob:
             "deadline_ms",
             "priority",
             "compile_timeout_s",
+            "stream",
+            "stream_chunk",
             "config_overrides",
         }
         unknown = set(payload) - allowed
@@ -382,6 +427,8 @@ class BatchJob:
         )
         if self.ordering is not None:
             base += f"+{self.ordering}"
+        if self.stream:
+            base += "&stream"
         if self.deadline_ms is not None:
             base += f"~{self.deadline_ms:g}ms"
         if self.priority != "normal":
@@ -441,6 +488,42 @@ def run_job(job: BatchJob) -> dict:
     from repro.utils.backend import use_backend
 
     _FAULT_COMPILE.hit(context=job.label)
+    if job.stream:
+        # Streaming path: never materialise the graph — build the lazy spec
+        # and walk it region by region.  The record carries window/memory
+        # statistics instead of a circuit summary.
+        from repro.core.streaming import compile_stream
+        from repro.graphs.lazy import make_stream_spec
+
+        config = _job_config(job)
+        chunk = job.stream_chunk
+        if chunk is None and job.graph.family != "ghz":
+            chunk = config.stream_chunk
+        spec = make_stream_spec(
+            job.graph.family, job.graph.size, seed=job.graph.seed, chunk=chunk
+        )
+        with use_backend(config.gf2_backend):
+            result = compile_stream(spec)
+        return {
+            "job": job.as_dict(),
+            "label": job.label,
+            "num_qubits": result.num_vertices,
+            "num_edges": result.num_edges,
+            "stream": {
+                "family": result.family,
+                "num_regions": result.num_regions,
+                "window_capacity": result.window_capacity,
+                "peak_window_photons": result.peak_window_photons,
+                "num_emitters": result.num_emitters,
+                "emitters_over_budget": result.emitters_over_budget,
+                "num_operations": result.num_operations,
+                "num_emissions": result.num_emissions,
+                "num_emitter_emitter_gates": result.num_emitter_emitter_gates,
+                "op_counts": result.op_counts,
+            },
+            "seconds_ours": result.elapsed_seconds,
+        }
+
     graph = job.graph.build()
     config = _job_config(job)
     record: dict = {

@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.stabilizer.tableau import StabilizerState
-from repro.utils.backend import PACKED, resolve_backend
+from repro.utils.backend import DENSE, resolve_backend
 from repro.utils.gf2_packed import pauli_phase_terms, unpack_matrix
 
 __all__ = ["canonical_stabilizer_matrix", "states_equal"]
@@ -148,7 +148,7 @@ def canonical_stabilizer_matrix(
     are canonicalised without ever unpacking their tableau.
     """
     chosen = resolve_backend(backend if backend is not None else state.backend)
-    if chosen == PACKED:
+    if chosen != DENSE:
         return _canonicalise_packed(state)
     return _canonicalise_dense(state)
 

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.backend import PACKED, resolve_backend
+from repro.utils.backend import DENSE, resolve_backend
 from repro.utils.gf2_packed import (
     pack_matrix,
     pauli_phase_terms,
@@ -72,7 +72,8 @@ class StabilizerState:
             raise ValueError(f"num_qubits must be positive, got {num_qubits}")
         self.num_qubits = int(num_qubits)
         self.backend = resolve_backend(backend)
-        self._packed = self.backend == PACKED
+        # The arena backend shares the word-packed tableau fast path.
+        self._packed = self.backend != DENSE
         n = self.num_qubits
         self.r = np.zeros(2 * n, dtype=np.uint8)
         if self._packed:

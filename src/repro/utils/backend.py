@@ -1,22 +1,33 @@
 """Selection of the GF(2) compute backend.
 
-Two backends implement the exact binary-field kernels that the compiler's hot
-paths (cut rank, stabilizer canonicalisation, circuit verification) run on:
+Three backends implement the exact binary-field kernels that the compiler's
+hot paths (cut rank, stabilizer canonicalisation, circuit verification) run
+on:
 
 * ``"dense"`` — the original ``uint8`` implementation in
   :mod:`repro.utils.gf2`.  Simple, thoroughly tested, and kept as the oracle
-  that the fast path is checked against.
+  that the fast paths are checked against.
 * ``"packed"`` — the word-packed implementation in
-  :mod:`repro.utils.gf2_packed`: rows live in ``np.uint64`` words, row
-  elimination is XOR of machine words and ranks come out of popcounts.  It is
-  bit-exact with the dense backend and several times faster from a few
-  hundred columns on.
+  :mod:`repro.utils.gf2_packed`: rows live as arbitrary-precision Python
+  integers (or ``np.uint64`` words at the array boundary), row elimination is
+  XOR of machine words and ranks come out of popcounts.  Bit-exact with the
+  dense backend and several times faster from a few hundred columns on.
+* ``"arena"`` — the array-arena implementation in
+  :mod:`repro.utils.gf2_arena`: rows live in a preallocated 2-D ``np.uint64``
+  arena, row updates are vectorised ``np.bitwise_xor`` and rule queries are
+  ``np.bitwise_count`` popcounts.  Bit-exact with both other backends and the
+  fastest at bulk Gauss–Jordan elimination from about a hundred columns on,
+  because the carrier XOR batches across every row in one vectorised call
+  (the ``packed`` default hands those kernels to the arena automatically past
+  :func:`arena_auto_threshold` columns).
 
 The process-wide default is ``"packed"`` and can be pinned with the
 ``REPRO_GF2_BACKEND`` environment variable, :func:`set_default_backend`, or
 temporarily with the :func:`use_backend` context manager.  Every public
 function that consumes a backend also accepts an explicit ``backend=``
-argument which takes precedence over the default.
+argument which takes precedence over the default.  The environment variable
+is validated lazily, at the first resolve, so importing this module never
+emits warnings on its own.
 """
 
 from __future__ import annotations
@@ -26,9 +37,11 @@ from contextlib import contextmanager
 from typing import Iterator
 
 __all__ = [
+    "ARENA",
     "BACKENDS",
     "DENSE",
     "PACKED",
+    "arena_auto_threshold",
     "get_default_backend",
     "resolve_backend",
     "set_default_backend",
@@ -37,12 +50,50 @@ __all__ = [
 
 DENSE = "dense"
 PACKED = "packed"
+ARENA = "arena"
 
 #: All recognised backend names.
-BACKENDS = (DENSE, PACKED)
+BACKENDS = (DENSE, PACKED, ARENA)
+
+#: Default matrix width (columns) at which the ``packed`` default hands a
+#: *bulk elimination* (rref / nullspace / solve) to the arena implementation.
+#: Below it CPython's big-int limb XOR wins on fixed overhead; above it the
+#: arena's vectorised carrier XOR — one numpy call per pivot, batched across
+#: every row — pulls ahead (measured ~2x at 256 columns, ~4x at 1024).  The
+#: shipped default tracks the measured crossover in ``BENCH_emitters.json``
+#: (``arena_results``) and can be pinned with ``REPRO_GF2_ARENA_THRESHOLD``.
+#: Single-row online updates (the reduction states, the incremental cut-rank
+#: sweep) are *not* auto-upgraded: per-row work has no batching to win on, so
+#: the packed big-int rows stay faster there at every measured size — the
+#: arena variants of those paths run only when pinned explicitly.
+DEFAULT_ARENA_THRESHOLD = 128
 
 
-def _initial_backend() -> str:
+def arena_auto_threshold() -> int:
+    """Matrix width at which auto-selection switches ``packed`` to ``arena``.
+
+    Reads ``REPRO_GF2_ARENA_THRESHOLD`` on every call (the value is a single
+    ``int`` parse, and re-reading keeps tests and notebooks free to tweak the
+    knob without reloading modules).  Unparseable values fall back to the
+    default; ``0`` routes every bulk elimination to the arena, a very large
+    value disables auto-selection.
+    """
+    raw = os.environ.get("REPRO_GF2_ARENA_THRESHOLD")
+    if raw is None:
+        return DEFAULT_ARENA_THRESHOLD
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_ARENA_THRESHOLD
+
+#: Sentinel meaning "the environment has not been consulted yet".
+_UNRESOLVED = object()
+
+_default_backend: str | object = _UNRESOLVED
+
+
+def _backend_from_env() -> str:
+    """Read ``REPRO_GF2_BACKEND`` once, warning on unrecognised values."""
     raw = os.environ.get("REPRO_GF2_BACKEND")
     if raw is None:
         return PACKED
@@ -54,18 +105,22 @@ def _initial_backend() -> str:
             f"ignoring unrecognised REPRO_GF2_BACKEND={raw!r}; "
             f"expected one of {BACKENDS}, using {PACKED!r}",
             RuntimeWarning,
-            stacklevel=2,
+            stacklevel=3,
         )
         return PACKED
     return value
 
 
-_default_backend: str = _initial_backend()
+def _current_default() -> str:
+    global _default_backend
+    if _default_backend is _UNRESOLVED:
+        _default_backend = _backend_from_env()
+    return _default_backend  # type: ignore[return-value]
 
 
 def get_default_backend() -> str:
     """Return the process-wide default backend name."""
-    return _default_backend
+    return _current_default()
 
 
 def set_default_backend(backend: str) -> str:
@@ -75,7 +130,7 @@ def set_default_backend(backend: str) -> str:
         ValueError: if ``backend`` is not a recognised backend name.
     """
     global _default_backend
-    previous = _default_backend
+    previous = _current_default()
     _default_backend = resolve_backend(backend)
     return previous
 
@@ -87,7 +142,7 @@ def resolve_backend(backend: str | None) -> str:
         ValueError: if ``backend`` is neither ``None`` nor a recognised name.
     """
     if backend is None:
-        return _default_backend
+        return _current_default()
     name = str(backend).strip().lower()
     if name not in BACKENDS:
         raise ValueError(
@@ -105,10 +160,10 @@ def use_backend(backend: str | None) -> Iterator[str]:
     without special-casing unset configuration.
     """
     if backend is None:
-        yield _default_backend
+        yield _current_default()
         return
     previous = set_default_backend(backend)
     try:
-        yield _default_backend
+        yield _current_default()
     finally:
         set_default_backend(previous)

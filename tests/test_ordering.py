@@ -232,6 +232,23 @@ class TestCLI:
                 "24",
                 "--repeats",
                 "1",
+                "--compile-sizes",
+                "12",
+                "24",
+                "--cache-sizes",
+                "16",
+                "32",
+                "--portfolio-sizes",
+                "12",
+                "--portfolio-deadlines-ms",
+                "50",
+                "500",
+                "--arena-sizes",
+                "16",
+                "32",
+                "--stream-sizes",
+                "64",
+                "256",
                 "--output",
                 str(target),
             ]
@@ -240,11 +257,16 @@ class TestCLI:
         record = json.loads(target.read_text())
         assert record["benchmark"] == "emitters"
         assert record["sizes"] == [16, 24]
-        assert record["backend"] in ("packed", "dense")
+        assert record["backend"] in ("packed", "dense", "arena")
         assert "git_rev" in record
         for row in record["results"]:
             assert row["speedup"] > 0
             assert row["greedy_peak"] <= row["natural_peak"]
+        assert record["arena_results"]["circuits_bit_identical"] is True
+        assert len(record["arena_results"]["kernel_results"]) == 2
+        stream_rows = record["stream_results"]
+        assert stream_rows and all(r["verified_against_oracle"] for r in stream_rows)
+        assert set(record["peak_memory_bytes"]) >= {"heights", "arena", "stream"}
         assert "wrote" in capsys.readouterr().out
 
 
