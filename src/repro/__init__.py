@@ -139,7 +139,7 @@ from repro.utils.backend import (
     use_backend,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "__version__",

@@ -35,6 +35,13 @@ Examples::
     repro serve --port 8765 --workers 3 --journal .repro-fleet-journal.jsonl
     repro loadgen --url http://127.0.0.1:8765 --families lattice --sizes 10 14
     repro loadgen --url http://127.0.0.1:8765 --requests 36 --kill-worker-after 6
+    repro serve --workers 3 --port 8765 --replicate-to 127.0.0.1:8790 \\
+        --lease .repro-lease.json
+    repro serve --standby --workers 3 --port 8765 \\
+        --replicate-to 127.0.0.1:8790 --lease .repro-lease.json \\
+        --journal .repro-standby-journal.jsonl
+    repro loadgen --url http://127.0.0.1:8765 --requests 36 --retries 20 \\
+        --kill-front-end-after 6
     repro loadgen --self-serve --cache-dir .repro-service-cache --requests 40
     repro loadgen --self-serve --self-serve-workers 3 --requests 36
     repro loadgen --self-serve --deadline-ms 2000 --max-deadline-miss-rate 0.1
@@ -378,6 +385,45 @@ def build_parser() -> argparse.ArgumentParser:
         "workers inherit it) — see docs/operations.md",
     )
     serve_parser.add_argument(
+        "--replicate-to",
+        default=None,
+        metavar="HOST:PORT",
+        help="high availability: the replication channel address — the "
+        "primary streams every accepted journal record there (acked before "
+        "the client sees 200) and a --standby binds and listens on it; "
+        "fleet mode only, requires --lease",
+    )
+    serve_parser.add_argument(
+        "--standby",
+        action="store_true",
+        help="run as the standby front end: sink journal replication on "
+        "--replicate-to, watch the primary's lease, and promote (bump the "
+        "epoch, fence the old primary, spawn workers, bind --port) when "
+        "the primary goes quiet",
+    )
+    serve_parser.add_argument(
+        "--lease",
+        default=None,
+        help="leadership lease file shared by primary and standby (epoch "
+        "numbers live here); required with --replicate-to or --standby",
+    )
+    serve_parser.add_argument(
+        "--failover-after-seconds",
+        type=float,
+        default=2.0,
+        help="standby mode: replication silence (with an expired lease) "
+        "required before promotion",
+    )
+    serve_parser.add_argument(
+        "--hedge-quantile",
+        type=float,
+        default=None,
+        help="fleet mode: hedge slow dispatches — when a first attempt "
+        "exceeds this latency quantile of recent requests, race a backup "
+        "attempt on another healthy worker (compiles are idempotent, so "
+        "the loser is discarded); e.g. 0.95",
+    )
+    serve_parser.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request"
     )
 
@@ -389,7 +435,9 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen_parser.add_argument(
         "--url",
         default=None,
-        help="server root, e.g. http://127.0.0.1:8765 (or use --self-serve)",
+        help="server root, e.g. http://127.0.0.1:8765 (or use --self-serve); "
+        "a comma-separated list enables client-side failover across a "
+        "primary/standby pair",
     )
     loadgen_parser.add_argument(
         "--self-serve",
@@ -452,6 +500,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault injection: SIGKILL one compile worker of the target "
         "fleet after this many completed requests (requires a fleet front "
         "end; the run must still finish with zero errors)",
+    )
+    loadgen_parser.add_argument(
+        "--kill-front-end-after",
+        type=int,
+        default=None,
+        help="failover drill: SIGKILL the front end itself (the first "
+        "--url address) after this many completed requests; pair with a "
+        "comma-separated --url and generous --retries — the run must "
+        "finish against the promoted standby with zero lost and zero "
+        "duplicated accepted requests",
     )
     loadgen_parser.add_argument(
         "--fault-schedule",
@@ -815,9 +873,32 @@ def _install_fault_schedule(value: str) -> None:
     install_schedule(schedule)
 
 
+def _parse_hostport(value: str, flag: str) -> tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"{flag} must be HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     if args.fault_schedule:
         _install_fault_schedule(args.fault_schedule)
+    if (args.standby or args.replicate_to) and not args.lease:
+        print("serve: --standby/--replicate-to require --lease", file=sys.stderr)
+        return EXIT_SERVE
+    if args.standby:
+        if not args.replicate_to:
+            print(
+                "serve: --standby needs --replicate-to (the replication "
+                "address to listen on)",
+                file=sys.stderr,
+            )
+            return EXIT_SERVE
+        return _run_serve_standby(args)
+    if args.replicate_to and args.workers <= 1:
+        print("serve: --replicate-to requires fleet mode (--workers > 1)",
+              file=sys.stderr)
+        return EXIT_SERVE
     if args.workers > 1:
         return _run_serve_fleet(args)
     return _run_serve_single(args)
@@ -870,6 +951,17 @@ def _run_serve_fleet(args: argparse.Namespace) -> int:
         install_sigterm_drain,
     )
 
+    epoch = 0
+    lease = None
+    replication = None
+    if args.replicate_to:
+        from repro.service.replication import Lease, ReplicationLink
+
+        lease = Lease(args.lease, holder="primary")
+        epoch = lease.acquire()
+        replication = ReplicationLink(
+            _parse_hostport(args.replicate_to, "--replicate-to"), epoch=epoch
+        )
     supervisor = FleetSupervisor(
         args.workers,
         host=args.host,
@@ -881,6 +973,10 @@ def _run_serve_fleet(args: argparse.Namespace) -> int:
         heartbeat_seconds=args.heartbeat_seconds,
         max_job_attempts=args.max_job_attempts,
         compile_timeout_s=args.compile_timeout_s,
+        epoch=epoch,
+        replication=replication,
+        lease=lease,
+        hedge_quantile=args.hedge_quantile,
     )
     supervisor.start()
     server = FleetServer((args.host, args.port), supervisor, verbose=args.verbose)
@@ -892,6 +988,11 @@ def _run_serve_fleet(args: argparse.Namespace) -> int:
         f"repro serve: fleet of {args.workers} workers behind "
         f"http://{host}:{port} (cache: {cache_note}, journal: {journal_note})"
     )
+    if replication is not None:
+        print(
+            f"repro serve: primary at epoch {epoch}, replicating the journal "
+            f"to {args.replicate_to} (lease: {args.lease})"
+        )
     print(
         "endpoints: POST /compile, POST /batch, GET /status/<job>, "
         "GET /healthz, GET /metrics"
@@ -901,6 +1002,43 @@ def _run_serve_fleet(args: argparse.Namespace) -> int:
     finally:
         supervisor.stop()
         server.server_close()
+    return EXIT_OK
+
+
+def _run_serve_standby(args: argparse.Namespace) -> int:
+    from repro.service.ha import StandbyCoordinator
+
+    coordinator = StandbyCoordinator(
+        args.workers,
+        (args.host, args.port),
+        _parse_hostport(args.replicate_to, "--replicate-to"),
+        journal_path=args.journal,
+        lease_path=args.lease,
+        failover_after_seconds=args.failover_after_seconds,
+        supervisor_kwargs={
+            "cache_dir": args.cache_dir,
+            "subgraph_cache_dir": args.subgraph_cache_dir,
+            "pool_workers": args.pool_workers,
+            "batch_window_ms": args.batch_window_ms,
+            "heartbeat_seconds": args.heartbeat_seconds,
+            "max_job_attempts": args.max_job_attempts,
+            "compile_timeout_s": args.compile_timeout_s,
+            "hedge_quantile": args.hedge_quantile,
+        },
+    )
+    coordinator.start()
+    print(
+        f"repro serve: standby sinking replication on {args.replicate_to}; "
+        f"will promote onto http://{args.host}:{args.port} after "
+        f"{args.failover_after_seconds:.1f}s of primary silence "
+        f"(lease: {args.lease})"
+    )
+    try:
+        coordinator.serve_forever(install_signals=True)
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        coordinator.stop()
     return EXIT_OK
 
 
@@ -915,6 +1053,15 @@ def _run_loadgen(args: argparse.Namespace) -> int:
     if args.max_deadline_miss_rate is not None and args.deadline_ms is None:
         print(
             "loadgen: --max-deadline-miss-rate requires --deadline-ms",
+            file=sys.stderr,
+        )
+        return EXIT_LOADGEN
+    if args.kill_front_end_after is not None and not args.url:
+        # A self-served front end runs in *this* process: SIGKILLing its
+        # /healthz pid would kill the load generator itself.
+        print(
+            "loadgen: --kill-front-end-after requires --url (an external "
+            "primary/standby pair)",
             file=sys.stderr,
         )
         return EXIT_LOADGEN
@@ -964,15 +1111,29 @@ def _run_loadgen(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             retries=args.retries,
             kill_worker_after=args.kill_worker_after,
+            kill_front_end_after=args.kill_front_end_after,
             poison_payload=poison_payload,
         )
         if args.metrics_out:
             # Scraped before the self-served instance shuts down; uses raw
-            # urllib because /metrics is a text exposition, not JSON.
+            # urllib because /metrics is a text exposition, not JSON.  With
+            # a multi-address --url the first live front end answers (after
+            # a failover drill that is the promoted standby).
             from urllib.request import urlopen
 
-            with urlopen(f"{url}/metrics", timeout=args.timeout) as response:
-                exposition = response.read().decode("utf-8")
+            exposition = None
+            scrape_error: Exception | None = None
+            for base in str(url).split(","):
+                try:
+                    with urlopen(
+                        f"{base.strip()}/metrics", timeout=args.timeout
+                    ) as response:
+                        exposition = response.read().decode("utf-8")
+                    break
+                except OSError as exc:
+                    scrape_error = exc
+            if exposition is None:
+                raise scrape_error or OSError("no front end answered /metrics")
             with open(args.metrics_out, "w", encoding="utf-8") as handle:
                 handle.write(exposition)
     finally:

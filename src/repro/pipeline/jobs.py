@@ -60,6 +60,8 @@ __all__ = [
     "run_job",
     "JournalEntry",
     "PendingJournal",
+    "StaleEpochError",
+    "fsync_dir",
 ]
 
 #: Graph families a :class:`GraphSpec` can rebuild.
@@ -606,6 +608,41 @@ def run_job(job: BatchJob) -> dict:
 JOURNAL_SCHEMA_VERSION = 1
 
 
+class StaleEpochError(RuntimeError):
+    """A write carried an epoch older than the journal's fenced minimum.
+
+    Raised by :meth:`PendingJournal.append_replica` (and surfaced by the
+    replication acceptor) when a deposed primary keeps streaming records
+    after a standby promoted with a higher epoch.  The write is rejected
+    so a split brain can never corrupt the replica journal.
+    """
+
+    def __init__(self, epoch: int, min_epoch: int):
+        super().__init__(
+            f"stale epoch {epoch} rejected (fence requires >= {min_epoch})"
+        )
+        self.epoch = epoch
+        self.min_epoch = min_epoch
+
+
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so a just-renamed entry survives a crash.
+
+    ``os.replace`` makes the rename atomic but not durable: on some
+    filesystems the *directory entry* itself is only persisted once the
+    parent directory is fsynced.  Best-effort on platforms whose
+    directories cannot be opened for reading (e.g. Windows).
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 @dataclass
 class JournalEntry:
     """One accepted-but-unfinished request recovered from a journal.
@@ -661,16 +698,39 @@ class PendingJournal:
     ----------
     path : str | Path
         Journal file location; parent directories are created on demand.
+    mirror : callable, optional
+        Called with every record *after* the local fsync and before the
+        append returns.  The HA primary installs the replication link's
+        send here, so an acknowledged request is durable on both peers
+        before the client ever sees a 200.  Exceptions propagate to the
+        writer (a fenced primary must fail the request, not hide it).
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, mirror=None):
         self.path = Path(path)
         self._lock = threading.Lock()
         self._handle = None
+        self._mirror = mirror
+        self._epoch = 0
+        self._min_epoch = 0
 
     # ------------------------------------------------------------------ #
 
+    def set_epoch(self, epoch: int) -> None:
+        """Stamp every subsequent record with the leadership ``epoch``."""
+        self._epoch = int(epoch)
+
+    def set_mirror(self, mirror) -> None:
+        """Install (or clear) the synchronous replication hook."""
+        self._mirror = mirror
+
+    def fence(self, min_epoch: int) -> None:
+        """Reject subsequent replica appends below ``min_epoch``."""
+        self._min_epoch = max(self._min_epoch, int(min_epoch))
+
     def _append(self, record: dict) -> None:
+        if self._epoch and "epoch" not in record:
+            record["epoch"] = self._epoch
         line = json.dumps(record, sort_keys=True, default=str)
         with self._lock:
             if self._handle is None:
@@ -680,6 +740,22 @@ class PendingJournal:
             self._handle.flush()
             _FAULT_FSYNC.hit(context=str(record.get("op", "")))
             os.fsync(self._handle.fileno())
+            if self._mirror is not None:
+                self._mirror(record)
+
+    def append_replica(self, record: dict) -> None:
+        """Append one replicated record received from the primary.
+
+        Raises
+        ------
+        StaleEpochError
+            If the record's epoch is below the fence set by
+            :meth:`fence` (split-brain protection after promotion).
+        """
+        epoch = int(record.get("epoch", 0))
+        if epoch < self._min_epoch:
+            raise StaleEpochError(epoch, self._min_epoch)
+        self._append(dict(record))
 
     def record_pending(
         self, request_id: str, payload: dict, content_hash: str, attempts: int = 0
@@ -813,4 +889,8 @@ class PendingJournal:
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(temp, self.path)
+            # The rename is atomic but only durable once the parent
+            # directory entry is persisted; without this a crash right
+            # after compaction can resurrect the pre-compaction journal.
+            fsync_dir(self.path.parent)
         return len(unfinished)

@@ -52,8 +52,13 @@ class ServiceClient:
 
     Parameters
     ----------
-    base_url : str
-        Server root, e.g. ``"http://127.0.0.1:8765"``.
+    base_url : str | Sequence[str]
+        Server root, e.g. ``"http://127.0.0.1:8765"``.  An HA front-end
+        *pair* is given as a sequence (or one comma-separated string) of
+        roots; retryable failures rotate to the next address, so callers
+        ride out a primary failover transparently (``/compile`` is
+        content-hash idempotent — re-POSTing to the promoted standby is
+        safe even when the first answer was lost in flight).
     timeout : float, optional
         Per-request socket timeout in seconds (connect *and* read): a hung
         or killed worker fails the request after ``timeout`` instead of
@@ -69,19 +74,40 @@ class ServiceClient:
 
     def __init__(
         self,
-        base_url: str,
+        base_url,
         timeout: float = 120.0,
         retries: int = 0,
         retry_backoff_seconds: float = 0.25,
     ):
-        self.base_url = base_url.rstrip("/")
+        if isinstance(base_url, str):
+            urls = [part for part in base_url.split(",") if part.strip()]
+        else:
+            urls = list(base_url)
+        if not urls:
+            raise ValueError("base_url must name at least one server root")
+        self.base_urls = [url.strip().rstrip("/") for url in urls]
+        self._url_index = 0
         self.timeout = float(timeout)
         self.retries = int(retries)
         self.retry_backoff_seconds = float(retry_backoff_seconds)
 
     # ------------------------------------------------------------------ #
 
-    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    @property
+    def base_url(self) -> str:
+        """The address requests currently go to (rotates on failover)."""
+        return self.base_urls[self._url_index]
+
+    def _rotate(self) -> None:
+        self._url_index = (self._url_index + 1) % len(self.base_urls)
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict | None = None,
+    ) -> dict:
         """Issue one JSON request (with retries) and return the parsed body.
 
         Parameters
@@ -92,6 +118,8 @@ class ServiceClient:
             Endpoint path, e.g. ``"/healthz"``.
         payload : dict | None, optional
             JSON body for POST requests.
+        headers : dict | None, optional
+            Extra request headers (e.g. ``X-Request-Id``).
 
         Returns
         -------
@@ -102,27 +130,45 @@ class ServiceClient:
         ------
         ServiceError
             On any non-2xx response or connection failure, after
-            :attr:`retries` extra attempts for retryable failures.
+            :attr:`retries` extra attempts for retryable failures.  With a
+            multi-address front-end list, each retryable failure also
+            rotates to the next address.
         """
         attempts = self.retries + 1
         for attempt in range(attempts):
             try:
+                # Headers passed positionally only when present, so tests
+                # (and callers) that stub a 3-argument _request_once keep
+                # working unchanged.
+                if headers:
+                    return self._request_once(method, path, payload, headers)
                 return self._request_once(method, path, payload)
             except ServiceError as exc:
                 last_try = attempt == attempts - 1
                 if last_try or exc.status not in RETRYABLE_STATUSES:
                     raise
+                if len(self.base_urls) > 1:
+                    self._rotate()
                 time.sleep(self.retry_backoff_seconds)
         raise AssertionError("unreachable")  # pragma: no cover
 
-    def _request_once(self, method: str, path: str, payload: dict | None) -> dict:
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None,
+        extra_headers: dict | None = None,
+    ) -> dict:
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if extra_headers:
+            headers.update(extra_headers)
+        base_url = self.base_url
         request = urllib.request.Request(
-            f"{self.base_url}{path}", data=data, headers=headers, method=method
+            f"{base_url}{path}", data=data, headers=headers, method=method
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -136,7 +182,7 @@ class ServiceClient:
                 exc.code, str(body.get("error", exc.reason)), body
             ) from exc
         except (urllib.error.URLError, OSError, ValueError) as exc:
-            raise ServiceError(0, f"cannot reach {self.base_url}: {exc}") from exc
+            raise ServiceError(0, f"cannot reach {base_url}: {exc}") from exc
 
     # ------------------------------------------------------------------ #
 
@@ -160,9 +206,9 @@ class ServiceClient:
         """
         return self.request("POST", "/compile", job)
 
-    def compile_payload(self, payload: dict) -> dict:
+    def compile_payload(self, payload: dict, headers: dict | None = None) -> dict:
         """``POST /compile`` with an explicit payload dict."""
-        return self.request("POST", "/compile", payload)
+        return self.request("POST", "/compile", payload, headers=headers)
 
     def submit_batch(self, jobs: list[dict]) -> str:
         """``POST /batch``; returns the job id to poll."""

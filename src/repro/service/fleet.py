@@ -45,13 +45,22 @@ import sys
 import threading
 import time
 import uuid
+from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Sequence
 
-from repro.pipeline.jobs import BatchJob, JournalEntry, PendingJournal
+from repro.pipeline.cache import DiskCircuitBreaker
+from repro.pipeline.jobs import (
+    JOURNAL_SCHEMA_VERSION,
+    BatchJob,
+    JournalEntry,
+    PendingJournal,
+    StaleEpochError,
+)
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.metrics import FLEET_METRICS, MetricsRegistry, log_event
+from repro.service.replication import LeaseLostError, ReplicationFencedError
 from repro.utils.faults import FaultPoint
 
 __all__ = [
@@ -182,6 +191,12 @@ class WorkerProcess:
     heartbeat_timeout : float, optional
         Socket timeout for health checks (short, so a hung worker is
         detected quickly).
+    breaker_threshold : int, optional
+        Consecutive connection-level dispatch failures before this
+        worker's circuit breaker opens (excluding it from the rendezvous
+        ring until the cooldown's half-open probe).
+    breaker_cooldown_seconds : float, optional
+        How long the dispatch breaker stays open before one probe.
     """
 
     def __init__(
@@ -192,11 +207,19 @@ class WorkerProcess:
         command: list[str],
         request_timeout: float = 120.0,
         heartbeat_timeout: float = 2.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown_seconds: float = 5.0,
     ):
         self.index = index
         self.host = host
         self.port = port
         self.command = list(command)
+        # The disk-tier breaker state machine is failure-source agnostic;
+        # here it guards dispatch to a flapping worker.
+        self.breaker = DiskCircuitBreaker(
+            threshold=breaker_threshold,
+            cooldown_seconds=breaker_cooldown_seconds,
+        )
         self.process: subprocess.Popen | None = None
         self.state = STOPPED
         self.restarts = 0
@@ -270,6 +293,7 @@ class WorkerProcess:
             "state": self.state,
             "restarts": self.restarts,
             "requests_served": self.last_healthz.get("requests_served", 0),
+            "dispatch_breaker": self.breaker.state,
         }
 
 
@@ -321,6 +345,32 @@ class FleetSupervisor:
     compile_timeout_s : float | None, optional
         Per-compile wall-clock watchdog forwarded to every worker
         (``repro serve --compile-timeout-s``); ``None`` disables it.
+    epoch : int, optional
+        Leadership epoch of this front end (0 outside HA pairs).  Stamped
+        on every journal record and worker dispatch so stale writers can
+        be fenced.
+    replication : ReplicationLink | None, optional
+        Synchronous journal replication link to the standby; installed as
+        the journal's mirror so records are durable on both peers before
+        a request is answered.
+    acceptor : ReplicationAcceptor | None, optional
+        The (still running) replication listener a promoted standby keeps
+        to fence its deposed predecessor; exposed through metrics.
+    lease : Lease | None, optional
+        Leadership lease renewed on every supervision tick; losing it
+        (a higher epoch appeared) stands this front end down.
+    hedge_quantile : float | None, optional
+        When set (a fraction in ``(0, 1)``), a first dispatch attempt that
+        exceeds this latency quantile fires one hedged attempt to the
+        next-ranked healthy worker; first success wins.  ``None`` (the
+        default) disables hedging.
+    hedge_after_seconds : float, optional
+        Floor on the hedge trigger latency (quantiles of an empty or very
+        fast window would otherwise hedge every request).
+    dispatch_breaker_threshold : int, optional
+        Per-worker consecutive dispatch failures before its breaker opens.
+    dispatch_breaker_cooldown_seconds : float, optional
+        How long an open dispatch breaker excludes a worker.
     """
 
     def __init__(
@@ -342,6 +392,14 @@ class FleetSupervisor:
         dispatch_wait_seconds: float = 15.0,
         max_job_attempts: int = 3,
         compile_timeout_s: float | None = None,
+        epoch: int = 0,
+        replication=None,
+        acceptor=None,
+        lease=None,
+        hedge_quantile: float | None = None,
+        hedge_after_seconds: float = 0.05,
+        dispatch_breaker_threshold: int = 3,
+        dispatch_breaker_cooldown_seconds: float = 5.0,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -350,6 +408,10 @@ class FleetSupervisor:
         if compile_timeout_s is not None and compile_timeout_s <= 0:
             raise ValueError(
                 f"compile_timeout_s must be > 0, got {compile_timeout_s}"
+            )
+        if hedge_quantile is not None and not 0.0 < hedge_quantile < 1.0:
+            raise ValueError(
+                f"hedge_quantile must be in (0, 1), got {hedge_quantile}"
             )
         self.host = host
         self.cache_dir = cache_dir
@@ -371,9 +433,28 @@ class FleetSupervisor:
         self._poisoned_total = 0
         self.started_at = time.time()
 
+        self.epoch = int(epoch)
+        self.replication = replication
+        self.acceptor = acceptor
+        self.lease = lease
+        self.hedge_quantile = hedge_quantile
+        self.hedge_after_seconds = float(hedge_after_seconds)
+        self._deposed = False
+        self._failovers = 0
+
         self.journal = PendingJournal(journal_path) if journal_path else None
         self._journal_path = journal_path
         self._replay_backlog = 0
+        if self.journal is not None:
+            if self.epoch:
+                self.journal.set_epoch(self.epoch)
+            if replication is not None:
+                self.journal.set_mirror(self._mirror_record)
+        if replication is not None and journal_path:
+            # Stream our unfinished backlog after each (re)connect so a
+            # standby that attached late still holds every accepted-but-
+            # unfinished request (the replica dedups by request id).
+            replication.on_connect = self._replication_catch_up
 
         self.workers: list[WorkerProcess] = []
         for index in range(num_workers):
@@ -385,6 +466,8 @@ class FleetSupervisor:
                     port,
                     self._worker_command(port),
                     request_timeout=request_timeout,
+                    breaker_threshold=dispatch_breaker_threshold,
+                    breaker_cooldown_seconds=dispatch_breaker_cooldown_seconds,
                 )
             )
 
@@ -395,6 +478,14 @@ class FleetSupervisor:
         self._stop = threading.Event()
         self._supervisor_thread: threading.Thread | None = None
         self._replay_thread: threading.Thread | None = None
+        # Worker probes run concurrently (one hung worker must not delay
+        # the roll-up for the rest); the in-flight set prevents a slow
+        # probe from stacking up duplicates for the same worker.
+        self._probe_pool = ThreadPoolExecutor(
+            max_workers=max(2, num_workers), thread_name_prefix="repro-fleet-probe"
+        )
+        self._probing: set[int] = set()
+        self._probe_lock = threading.Lock()
 
         # Create every declared instrument up front so the exposition is
         # complete from the first scrape (CI validates exactly this set).
@@ -505,10 +596,15 @@ class FleetSupervisor:
         self._stop.set()
         if self._supervisor_thread is not None:
             self._supervisor_thread.join(timeout=5.0)
+        self._probe_pool.shutdown(wait=False)
         for worker in self.workers:
             worker.terminate(grace_seconds=grace_seconds)
         if self.journal is not None:
             self.journal.close()
+        if self.replication is not None:
+            self.replication.close()
+        if self.acceptor is not None:
+            self.acceptor.stop()
 
     def drain(self, timeout: float = 60.0) -> bool:
         """Graceful SIGTERM semantics: stop accepting, flush, stop workers.
@@ -564,16 +660,109 @@ class FleetSupervisor:
         while not self._stop.wait(self.heartbeat_seconds):
             if self.draining:
                 continue
+            self._renew_leadership()
             for worker in self.workers:
+                with self._probe_lock:
+                    if worker.index in self._probing:
+                        # The previous probe of this worker is still in
+                        # flight (hung worker riding out its heartbeat
+                        # timeout); don't stack another behind it.
+                        continue
+                    self._probing.add(worker.index)
                 try:
-                    self._check_worker(worker)
-                except Exception as exc:  # noqa: BLE001 - never kill the loop
-                    log_event(
-                        "supervisor_error",
-                        level="error",
-                        worker=worker.index,
-                        error=f"{type(exc).__name__}: {exc}",
-                    )
+                    self._probe_pool.submit(self._probe_worker, worker)
+                except RuntimeError:  # pool shut down mid-tick
+                    with self._probe_lock:
+                        self._probing.discard(worker.index)
+                    return
+
+    def _probe_worker(self, worker: WorkerProcess) -> None:
+        try:
+            self._check_worker(worker)
+        except Exception as exc:  # noqa: BLE001 - never kill the pool
+            log_event(
+                "supervisor_error",
+                level="error",
+                worker=worker.index,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        finally:
+            with self._probe_lock:
+                self._probing.discard(worker.index)
+
+    def _renew_leadership(self) -> None:
+        """Renew the lease and heartbeat the standby (HA primaries only)."""
+        if self._deposed:
+            return
+        if self.lease is not None:
+            try:
+                self.lease.renew()
+            except LeaseLostError as exc:
+                self._stand_down(f"lease lost: {exc}")
+                return
+            except OSError as exc:
+                # Includes injected lease.renew faults: a missed renewal is
+                # survivable (the TTL gives us slack); log and carry on.
+                log_event("lease_renew_error", level="warning", error=str(exc))
+        if self.replication is not None:
+            try:
+                self.replication.heartbeat()
+            except ReplicationFencedError as exc:
+                self._stand_down(f"replication fenced: {exc}")
+
+    def _stand_down(self, reason: str) -> None:
+        """Fence ourselves: a higher epoch exists, stop accepting work."""
+        with self._lock:
+            if self._deposed:
+                return
+            self._deposed = True
+        log_event("front_end_deposed", level="error",
+                  epoch=self.epoch, reason=reason)
+
+    def note_failover(self) -> None:
+        """Record that this front end promoted from standby to primary."""
+        with self._lock:
+            self._failovers += 1
+        self._instruments["repro_fleet_failovers_total"].inc()
+
+    def _mirror_record(self, record: dict) -> None:
+        """Synchronously replicate one journal record to the standby.
+
+        Called by the journal inside its append (after the local fsync).
+        A degraded link (standby down) is counted and tolerated —
+        availability wins — but a *fence* (the standby promoted past us)
+        raises :class:`StaleEpochError` so the request fails instead of
+        being acknowledged by a deposed primary.
+        """
+        link = self.replication
+        if link is None:
+            return
+        try:
+            link.send_record(record)
+        except ReplicationFencedError as exc:
+            self._stand_down(f"replication fenced: {exc}")
+            raise StaleEpochError(self.epoch, exc.fence_epoch) from exc
+
+    def _replication_catch_up(self, link) -> None:
+        """Resend the unfinished backlog after a replication (re)connect."""
+        if not self._journal_path:
+            return
+        backlog = PendingJournal.load_unfinished(self._journal_path)
+        for entry in backlog:
+            record = {
+                "op": "pending",
+                "request_id": entry.request_id,
+                "payload": entry.payload,
+                "content_hash": entry.content_hash,
+                "schema_version": JOURNAL_SCHEMA_VERSION,
+            }
+            if entry.attempts:
+                record["attempts"] = entry.attempts
+            if self.epoch:
+                record["epoch"] = self.epoch
+            link.send_record(record)
+        if backlog:
+            log_event("replication_catch_up", entries=len(backlog))
 
     def _check_worker(self, worker: WorkerProcess) -> None:
         now = time.monotonic()
@@ -677,6 +866,20 @@ class FleetSupervisor:
         self, ranked: list[WorkerProcess], tried: set[int], deadline: float
     ) -> WorkerProcess | None:
         while True:
+            # First choice: healthy, untried this request, and not excluded
+            # by its dispatch circuit breaker.  breaker.allow() is only
+            # consulted for otherwise-eligible candidates because an open
+            # breaker's first allow() consumes its half-open probe.
+            for worker in ranked:
+                if (
+                    worker.state == HEALTHY
+                    and worker.index not in tried
+                    and worker.breaker.allow()
+                ):
+                    return worker
+            # Next: healthy and untried even if the breaker objects —
+            # availability beats tail-latency shaping when the ring is
+            # otherwise empty.
             for worker in ranked:
                 if worker.state == HEALTHY and worker.index not in tried:
                     return worker
@@ -688,6 +891,123 @@ class FleetSupervisor:
             if time.monotonic() >= deadline or self._stop.is_set():
                 return None
             time.sleep(0.05)
+
+    def _forward(self, worker: WorkerProcess, payload: dict, content_hash: str) -> dict:
+        _FAULT_FORWARD.hit(context=content_hash)
+        headers = {"X-Repro-Epoch": str(self.epoch)} if self.epoch else None
+        return worker.client.compile_payload(payload, headers=headers)
+
+    def _hedge_threshold_seconds(self) -> float:
+        """Latency past which the first attempt gets a hedged sibling."""
+        quantile = self._instruments["repro_fleet_request_latency_seconds"].quantile(
+            self.hedge_quantile
+        )
+        return max(self.hedge_after_seconds, quantile)
+
+    def _forward_hedged(
+        self,
+        worker: WorkerProcess,
+        ranked: list[WorkerProcess],
+        tried: set[int],
+        payload: dict,
+        content_hash: str,
+        request_id: str,
+        hedge_allowed: bool,
+    ) -> tuple[dict, WorkerProcess]:
+        """Forward to ``worker``, optionally hedging a slow first attempt.
+
+        With hedging enabled (``hedge_quantile``) and allowed (first
+        attempt only — retries already have a failure signal), the primary
+        forward runs on a helper thread; if it has not answered within the
+        hedge-quantile latency, one hedged attempt fires at the
+        next-ranked healthy worker and the first success wins.  ``/compile``
+        is content-hash idempotent, so the losing attempt is harmless.
+
+        Returns ``(body, serving_worker)``; raises the primary attempt's
+        error when every launched attempt failed (only the primary's
+        connection failures count toward the poison budget).
+        """
+        if not hedge_allowed or self.hedge_quantile is None or self._stop.is_set():
+            return self._forward(worker, payload, content_hash), worker
+
+        cond = threading.Condition()
+        outcomes: list[tuple[WorkerProcess, dict | None, Exception | None]] = []
+
+        def attempt(target: WorkerProcess) -> None:
+            try:
+                entry = (target, self._forward(target, payload, content_hash), None)
+            except (ServiceError, OSError) as exc:
+                entry = (target, None, exc)
+            with cond:
+                outcomes.append(entry)
+                cond.notify_all()
+
+        threading.Thread(
+            target=attempt, args=(worker,), name="repro-hedge-primary", daemon=True
+        ).start()
+        threshold = self._hedge_threshold_seconds()
+        with cond:
+            cond.wait_for(lambda: outcomes, timeout=threshold)
+            finished = list(outcomes)
+        if finished:
+            target, body, error = finished[0]
+            if error is not None:
+                raise error
+            return body, target
+
+        backup = None
+        for candidate in ranked:
+            if (
+                candidate.index != worker.index
+                and candidate.index not in tried
+                and candidate.state == HEALTHY
+                and candidate.breaker.allow()
+            ):
+                backup = candidate
+                break
+        if backup is None:
+            # Nobody to hedge to: ride out the primary attempt.
+            with cond:
+                cond.wait_for(lambda: outcomes)
+                target, body, error = outcomes[0]
+            if error is not None:
+                raise error
+            return body, target
+
+        tried.add(backup.index)
+        if self.journal is not None:
+            self.journal.record_attempt(request_id, backup.index)
+        self._instruments["repro_fleet_hedged_requests_total"].inc()
+        log_event(
+            "dispatch_hedged",
+            request_id=request_id,
+            worker=worker.index,
+            hedge_worker=backup.index,
+            threshold_s=round(threshold, 4),
+        )
+        threading.Thread(
+            target=attempt, args=(backup,), name="repro-hedge-backup", daemon=True
+        ).start()
+        with cond:
+            while True:
+                for target, body, error in outcomes:
+                    if error is None:
+                        if target is backup:
+                            self._instruments["repro_fleet_hedge_wins_total"].inc()
+                        return body, target
+                if len(outcomes) >= 2:
+                    break
+                cond.wait()
+            finished = list(outcomes)
+        primary_error: Exception | None = None
+        for target, _body, error in finished:
+            if target is backup:
+                status = error.status if isinstance(error, ServiceError) else 0
+                if status == 0:
+                    backup.breaker.record_failure()
+            else:
+                primary_error = error
+        raise primary_error
 
     def dispatch(
         self,
@@ -746,13 +1066,21 @@ class FleetSupervisor:
         with self._lock:
             if self._draining:
                 raise FleetDrainingError("fleet is draining; not accepting work")
+            if self._deposed:
+                raise FleetDrainingError(
+                    "front end deposed (stale leadership epoch); "
+                    "retry against the new primary"
+                )
             self._inflight += 1
         self._instruments["repro_fleet_requests_total"].inc()
         self._instruments["repro_fleet_inflight_requests"].inc()
-        if self.journal is not None and journal_accept:
-            self.journal.record_pending(request_id, payload, content_hash)
         started = time.perf_counter()
         try:
+            # Inside the try so a journal append rejected by the fence
+            # (StaleEpochError from the replication mirror) still releases
+            # the in-flight slot.
+            if self.journal is not None and journal_accept:
+                self.journal.record_pending(request_id, payload, content_hash)
             body = self._dispatch_attempts(
                 payload, request_id, content_hash, prior_attempts
             )
@@ -795,8 +1123,15 @@ class FleetSupervisor:
             if self.journal is not None:
                 self.journal.record_attempt(request_id, worker.index)
             try:
-                _FAULT_FORWARD.hit(context=content_hash)
-                body = worker.client.compile_payload(payload)
+                body, served_by = self._forward_hedged(
+                    worker,
+                    ranked,
+                    tried,
+                    payload,
+                    content_hash,
+                    request_id,
+                    hedge_allowed=(attempt == 0),
+                )
             except (ServiceError, OSError) as exc:
                 status = exc.status if isinstance(exc, ServiceError) else 0
                 if status == 0:
@@ -808,6 +1143,7 @@ class FleetSupervisor:
                     crashed += 1
                     history.append({"worker": worker.index, "error": last_error})
                     self._instruments["repro_fleet_retries_total"].inc()
+                    worker.breaker.record_failure()
                     self._note_dispatch_failure(worker)
                     log_event(
                         "dispatch_retry",
@@ -819,12 +1155,23 @@ class FleetSupervisor:
                         error=last_error,
                     )
                     continue
+                if (
+                    status == 409
+                    and isinstance(exc, ServiceError)
+                    and exc.body.get("stale_epoch")
+                ):
+                    # The worker has seen a higher leadership epoch: we
+                    # were deposed.  Stop accepting and fail the request so
+                    # the client fails over to the new primary.
+                    self._instruments["repro_fleet_fenced_dispatches_total"].inc()
+                    self._stand_down(f"worker fenced dispatch: {exc}")
                 # A real HTTP answer (400/429/500): the worker is fine, the
                 # request outcome is terminal — journal and relay.
                 if self.journal is not None:
                     self.journal.record_failed(request_id, f"HTTP {status}: {exc}")
                 raise
-            body["worker"] = worker.index
+            served_by.breaker.record_success()
+            body["worker"] = served_by.index
             return body
         if crashed >= self.max_job_attempts:
             self._quarantine_poisoned(request_id, crashed, last_error, history)
@@ -916,9 +1263,30 @@ class FleetSupervisor:
             inflight = self._inflight
             draining = self._draining
             poisoned = self._poisoned_total
+            deposed = self._deposed
+            failovers = self._failovers
+        status = "ok"
+        if draining:
+            status = "draining"
+        elif deposed:
+            status = "deposed"
         return {
-            "status": "draining" if draining else "ok",
+            "status": status,
             "role": "fleet",
+            "ha": {
+                "epoch": self.epoch,
+                "deposed": deposed,
+                "failovers": failovers,
+                "lease": str(self.lease.path) if self.lease is not None else None,
+                "replication": (
+                    self.replication.snapshot()
+                    if self.replication is not None
+                    else None
+                ),
+                "acceptor": (
+                    self.acceptor.snapshot() if self.acceptor is not None else None
+                ),
+            },
             "version": repro.__version__,
             "pid": os.getpid(),
             "uptime_seconds": time.time() - self.started_at,
@@ -1010,6 +1378,34 @@ class FleetSupervisor:
         ins["repro_fleet_disk_breaker_opens_total"].set_total(breaker_opens)
         ins["repro_fleet_disk_breaker_open"].set(breakers_open)
         ins["repro_fleet_compile_timeouts_total"].set_total(compile_timeouts)
+        with self._lock:
+            deposed = self._deposed
+        ins["repro_fleet_role"].set(0.0 if deposed else 1.0)
+        ins["repro_fleet_epoch"].set(float(self.epoch))
+        link = self.replication
+        acceptor = self.acceptor
+        ins["repro_fleet_replication_connected"].set(
+            1.0 if (link is not None and link.connected) else 0.0
+        )
+        ins["repro_fleet_replication_records_total"].set_total(
+            (link.records_total if link is not None else 0)
+            + (acceptor.records_total if acceptor is not None else 0)
+        )
+        ins["repro_fleet_replication_failures_total"].set_total(
+            link.failures_total if link is not None else 0
+        )
+        ins["repro_fleet_fenced_writes_total"].set_total(
+            acceptor.fenced_total if acceptor is not None else 0
+        )
+        dispatch_open = 0
+        dispatch_opens = 0
+        for worker in self.workers:
+            breaker = worker.breaker.snapshot()
+            if breaker["open"]:
+                dispatch_open += 1
+            dispatch_opens += int(breaker["opens"])
+        ins["repro_fleet_dispatch_breaker_open"].set(dispatch_open)
+        ins["repro_fleet_dispatch_breaker_opens_total"].set_total(dispatch_opens)
         return self.registry.render()
 
 
@@ -1076,6 +1472,15 @@ class _FleetHandler(BaseHTTPRequestHandler):
         except NoHealthyWorkerError as exc:
             status, body = 503, {
                 "error": f"no worker could serve the request: {exc}",
+                "request_id": request_id,
+            }
+        except StaleEpochError as exc:
+            # The replication fence rejected our journal write mid-request:
+            # we were deposed.  503 so the client retries against the
+            # promoted standby.
+            status, body = 503, {
+                "error": str(exc),
+                "stale_epoch": True,
                 "request_id": request_id,
             }
         except ServiceError as exc:

@@ -1,0 +1,225 @@
+"""Standby front end: journal replication target + automatic promotion.
+
+``repro serve --standby`` runs a :class:`StandbyCoordinator` instead of a
+fleet.  The standby
+
+1. listens on the replication address and appends every record the primary
+   streams into its *own* copy of the pending journal (acked synchronously,
+   so an acknowledged request is durable on both peers);
+2. watches the primary through two independent signals — traffic on the
+   replication channel and the shared lease file's freshness;
+3. **promotes** when both go quiet: bumps the lease epoch past the dead
+   primary's, raises the replication fence (so a zombie primary's writes
+   are rejected, observable as ``repro_fleet_fenced_writes_total``), spawns
+   its own worker fleet, replays the replica journal into the shared result
+   cache, binds the front-end port the primary used, and serves.
+
+Split-brain safety rests on the epoch fence, not on perfect failure
+detection: a deposed primary that was merely slow keeps its old epoch, and
+every surface it can write through — the replication channel, the lease
+file, worker dispatch — rejects epochs below the promoted standby's.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.pipeline.jobs import PendingJournal
+from repro.service.fleet import FleetServer, FleetSupervisor, install_sigterm_drain
+from repro.service.metrics import log_event
+from repro.service.replication import Lease, ReplicationAcceptor
+
+__all__ = ["StandbyCoordinator", "start_standby"]
+
+
+class StandbyCoordinator:
+    """Run a standby front end until promotion (or shutdown).
+
+    Parameters
+    ----------
+    num_workers : int
+        Workers to spawn *after* promotion (the standby itself is just a
+        journal sink — it burns no compute while the primary is healthy).
+    frontend_address : tuple[str, int]
+        ``(host, port)`` the *primary* serves on; the promoted standby
+        binds the same port so clients' multi-address lists keep working.
+    replication_address : tuple[str, int]
+        ``(host, port)`` this standby listens on for journal replication.
+    journal_path : str
+        The standby's own journal copy (must differ from the primary's
+        when both run on one filesystem).
+    lease_path : str
+        The shared leadership lease file.
+    failover_after_seconds : float, optional
+        Replication silence required before promotion is considered; the
+        lease must *also* be expired (its TTL is an independent clock).
+    poll_seconds : float, optional
+        Watch-loop period.
+    supervisor_kwargs : dict | None, optional
+        Extra :class:`FleetSupervisor` keyword arguments applied after
+        promotion (cache dirs, dispatch tuning, hedging, ...).
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        frontend_address: tuple[str, int],
+        replication_address: tuple[str, int],
+        journal_path: str,
+        lease_path: str,
+        failover_after_seconds: float = 2.0,
+        poll_seconds: float = 0.25,
+        supervisor_kwargs: dict | None = None,
+    ):
+        self.num_workers = int(num_workers)
+        self.frontend_address = (frontend_address[0], int(frontend_address[1]))
+        self.journal_path = str(journal_path)
+        self.failover_after_seconds = float(failover_after_seconds)
+        self.poll_seconds = float(poll_seconds)
+        self.supervisor_kwargs = dict(supervisor_kwargs or {})
+
+        self.journal = PendingJournal(journal_path)
+        self.lease = Lease(lease_path, holder="standby")
+        self.acceptor = ReplicationAcceptor(
+            replication_address[0],
+            int(replication_address[1]),
+            apply=self.journal.append_replica,
+        )
+        self.promoted = threading.Event()
+        self.supervisor: FleetSupervisor | None = None
+        self.server: FleetServer | None = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Bind the replication listener (call before the primary starts)."""
+        self.acceptor.start()
+        log_event(
+            "standby_listening",
+            replication=f"{self.acceptor.address[0]}:{self.acceptor.address[1]}",
+            frontend=f"{self.frontend_address[0]}:{self.frontend_address[1]}",
+        )
+
+    def stop(self) -> None:
+        """Shut the standby down (idempotent; post-promotion too)."""
+        self._stop.set()
+        if self.server is not None:
+            self.server.shutdown()
+        if self.supervisor is not None:
+            self.supervisor.stop()
+        else:
+            self.acceptor.stop()
+            self.journal.close()
+
+    def watch(self) -> bool:
+        """Block until the primary dies (promote, return True) or stop().
+
+        Promotion requires *both* failure signals: the replication channel
+        silent for ``failover_after_seconds`` (after having heard the
+        primary at least once, or never at all with an expired lease) and
+        the lease file past its TTL.  A healthy-but-slow primary keeps
+        renewing the lease, so the standby stays put.
+        """
+        while not self._stop.is_set():
+            if self._stop.wait(self.poll_seconds):
+                return False
+            heard_primary = self.acceptor.last_contact > 0
+            lease_record = Lease.read(self.lease.path)
+            if not heard_primary and not lease_record:
+                # Neither peer has spoken yet: the primary simply hasn't
+                # started.  There is nothing to fail over *from* — wait.
+                continue
+            quiet = self.acceptor.last_contact_age() > self.failover_after_seconds
+            if quiet and self.lease.expired():
+                self.promote()
+                return True
+        return False
+
+    def promote(self) -> None:
+        """Take over as primary: fence, replay, bind, serve."""
+        epoch = self.lease.bump()
+        # Raise the fence *before* serving: from here on the deposed
+        # primary's frames and journal appends are rejected.
+        self.acceptor.set_epoch(epoch)
+        self.journal.fence(epoch)
+        log_event("standby_promoting", epoch=epoch)
+
+        supervisor = FleetSupervisor(
+            self.num_workers,
+            host=self.frontend_address[0],
+            journal_path=self.journal_path,
+            epoch=epoch,
+            acceptor=self.acceptor,
+            lease=self.lease,
+            **self.supervisor_kwargs,
+        )
+        supervisor.journal.fence(epoch)
+        supervisor.note_failover()
+        # Replays the replica journal into the shared result cache: every
+        # request the dead primary accepted but never finished is
+        # recompiled (or served from cache) here.
+        supervisor.start(wait_ready=True, replay=True)
+        self.supervisor = supervisor
+
+        # The dead primary's socket may linger in TIME_WAIT/CLOSE_WAIT for
+        # a beat after SIGKILL; retry the bind briefly rather than dying.
+        deadline = time.monotonic() + 10.0
+        last_error: OSError | None = None
+        while True:
+            try:
+                self.server = FleetServer(self.frontend_address, supervisor)
+                break
+            except OSError as exc:
+                last_error = exc
+                if time.monotonic() >= deadline:
+                    supervisor.stop()
+                    raise
+                time.sleep(0.1)
+        if last_error is not None:
+            log_event("promotion_bind_retried", error=str(last_error))
+        self.promoted.set()
+        log_event(
+            "standby_promoted",
+            epoch=epoch,
+            frontend=f"{self.frontend_address[0]}:{self.frontend_address[1]}",
+        )
+
+    def serve_forever(self, install_signals: bool = False) -> None:
+        """Watch, promote, then serve the front end until shutdown."""
+        if not self.watch():
+            return
+        assert self.server is not None
+        if install_signals:
+            install_sigterm_drain(self.server)
+        self.server.serve_forever()
+
+
+def start_standby(
+    num_workers: int,
+    frontend_address: tuple[str, int],
+    replication_address: tuple[str, int],
+    journal_path: str,
+    lease_path: str,
+    **kwargs,
+) -> tuple[StandbyCoordinator, threading.Thread]:
+    """Run a standby on a daemon thread (the in-process/test entry point).
+
+    Returns the coordinator (watch ``coordinator.promoted``) and the
+    serving thread.  Call ``coordinator.stop()`` when done.
+    """
+    coordinator = StandbyCoordinator(
+        num_workers,
+        frontend_address,
+        replication_address,
+        journal_path,
+        lease_path,
+        **kwargs,
+    )
+    coordinator.start()
+    thread = threading.Thread(
+        target=coordinator.serve_forever, name="repro-standby", daemon=True
+    )
+    thread.start()
+    return coordinator, thread

@@ -24,7 +24,12 @@ As a fault-injection harness, ``run_loadgen(kill_worker_after=K)`` SIGKILLs
 one healthy compile worker of a *fleet* front end (pids come from the
 fleet's ``/healthz`` roll-up) after K requests have completed — the CI
 ``fleet-smoke`` job uses it to assert that a worker crash mid-load completes
-the run with zero failed requests.
+the run with zero failed requests.  ``kill_front_end_after=K`` escalates
+the drill to the front end itself: the primary is SIGKILLed mid-load and
+the run (given a multi-address ``url`` and generous retries) must complete
+against the promoted standby with zero lost requests and zero duplicate
+accepts — every request carries a unique ``X-Request-Id``, and a response
+echoing an already-seen id fails the run.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ import os
 import signal
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -143,6 +149,10 @@ class LoadReport:
     killed_worker_index: int | None = None
     killed_worker_pid: int | None = None
     killed_after_requests: int | None = None
+    killed_front_end_pid: int | None = None
+    killed_front_end_after: int | None = None
+    orphan_worker_pids: list[int] = field(default_factory=list)
+    duplicate_accepts: int = 0
     deadline_requests: int = 0
     deadline_misses: int = 0
     admission_rejections: int = 0
@@ -151,8 +161,8 @@ class LoadReport:
 
     @property
     def ok(self) -> bool:
-        """True when every request succeeded."""
-        return self.errors == 0 and self.requests > 0
+        """True when every request succeeded exactly once."""
+        return self.errors == 0 and self.requests > 0 and self.duplicate_accepts == 0
 
     @property
     def throughput_rps(self) -> float:
@@ -214,6 +224,11 @@ class LoadReport:
             body["killed_worker_index"] = self.killed_worker_index
             body["killed_worker_pid"] = self.killed_worker_pid
             body["killed_after_requests"] = self.killed_after_requests
+        if self.killed_front_end_pid is not None:
+            body["killed_front_end_pid"] = self.killed_front_end_pid
+            body["killed_front_end_after"] = self.killed_front_end_after
+            body["duplicate_accepts"] = self.duplicate_accepts
+            body["orphan_worker_pids"] = self.orphan_worker_pids
         return body
 
     def to_text(self) -> str:
@@ -251,6 +266,13 @@ class LoadReport:
                 f"(pid {self.killed_worker_pid}) after "
                 f"{self.killed_after_requests} requests"
             )
+        if self.killed_front_end_pid is not None:
+            lines.append(
+                f"fault inject: SIGKILLed front end "
+                f"(pid {self.killed_front_end_pid}) after "
+                f"{self.killed_front_end_after} requests; "
+                f"duplicate accepts: {self.duplicate_accepts}"
+            )
         for message in self.first_errors:
             lines.append(f"error: {message}")
         return "\n".join(lines)
@@ -281,6 +303,31 @@ def _kill_one_worker(url: str, timeout: float, report: LoadReport, lock) -> None
         report.killed_worker_pid = int(victim["pid"])
 
 
+def _kill_front_end(url: str, timeout: float, report: LoadReport, lock) -> None:
+    """SIGKILL the front-end process serving ``url`` (failover drill).
+
+    ``url`` may be a comma-separated address list; the kill always targets
+    the *first* address — the primary — so a standby listed second can take
+    over.  The primary's own pid comes from its ``/healthz`` body; worker
+    pids from the roll-up are recorded as orphans (SIGKILL gives the
+    supervisor no chance to reap them, so the harness caller cleans up).
+    """
+    primary_url = str(url).split(",")[0].strip()
+    body = ServiceClient(primary_url, timeout=timeout).healthz()
+    pid = body.get("pid")
+    if not pid:
+        raise ValueError(
+            "--kill-front-end-after needs /healthz to report the front-end pid"
+        )
+    orphans = [
+        int(w["pid"]) for w in (body.get("workers") or []) if w.get("pid")
+    ]
+    os.kill(int(pid), signal.SIGKILL)
+    with lock:
+        report.killed_front_end_pid = int(pid)
+        report.orphan_worker_pids = orphans
+
+
 def run_loadgen(
     url: str,
     payloads: Sequence[dict],
@@ -289,6 +336,7 @@ def run_loadgen(
     timeout: float = 120.0,
     retries: int = 1,
     kill_worker_after: int | None = None,
+    kill_front_end_after: int | None = None,
     poison_payload: dict | None = None,
 ) -> LoadReport:
     """Drive the service closed-loop and aggregate a :class:`LoadReport`.
@@ -316,6 +364,13 @@ def run_loadgen(
         one healthy compile worker of the fleet serving ``url``.  The
         target must be a fleet front end (its ``/healthz`` lists worker
         pids); the killed worker is recorded on the report.
+    kill_front_end_after : int | None, optional
+        Failover drill: after this many requests have *completed*, SIGKILL
+        the front-end process itself (the first address when ``url`` lists
+        several).  Pair with a multi-address ``url`` and generous
+        ``retries`` so in-flight requests fail over to the promoted
+        standby; every request carries a unique ``X-Request-Id`` and the
+        run only reports ``ok`` when no id was accepted twice.
     poison_payload : dict | None, optional
         Chaos testing: send this payload as the *last* request of the run
         (index ``requests - 1``) instead of the round-robin mix.  A 422
@@ -338,15 +393,22 @@ def run_loadgen(
         raise ValueError(
             f"kill_worker_after must be in [0, {requests}), got {kill_worker_after}"
         )
+    if kill_front_end_after is not None and not 0 <= kill_front_end_after < requests:
+        raise ValueError(
+            f"kill_front_end_after must be in [0, {requests}), "
+            f"got {kill_front_end_after}"
+        )
 
     report = LoadReport()
     lock = threading.Lock()
     counter = itertools.count()
     kill_pending = kill_worker_after is not None
+    kill_fe_pending = kill_front_end_after is not None
+    accepted_ids: set[str] = set()
 
     def worker() -> None:
         """One closed-loop client: issue requests until the counter runs out."""
-        nonlocal kill_pending
+        nonlocal kill_pending, kill_fe_pending
         client = ServiceClient(url, timeout=timeout, retries=retries)
         while True:
             index = next(counter)
@@ -363,10 +425,18 @@ def run_loadgen(
             cache_hit = False
             coalesced = False
             portfolio: dict = {}
+            # A unique id per logical request: retried/hedged/failed-over
+            # POSTs reuse it, so a response echoing an id already seen
+            # means one acceptance was double-counted somewhere.
+            request_id = uuid.uuid4().hex[:16]
+            accepted_id: str | None = None
             try:
-                body = client.compile_payload(payload)
+                body = client.compile_payload(
+                    payload, headers={"X-Request-Id": request_id}
+                )
                 cache_hit = bool(body.get("cache_hit"))
                 coalesced = bool(body.get("coalesced"))
+                accepted_id = str(body.get("request_id") or request_id)
                 portfolio = (body.get("result") or {}).get("portfolio") or {}
             except ServiceError as exc:
                 if exc.status == 429:
@@ -382,6 +452,7 @@ def run_loadgen(
                     error = str(exc)
             latency = time.perf_counter() - started
             fire_kill = False
+            fire_fe_kill = False
             with lock:
                 report.requests += 1
                 if rejected:
@@ -389,6 +460,11 @@ def run_loadgen(
                 elif quarantined:
                     report.poisoned += 1
                 elif error is None:
+                    if accepted_id is not None:
+                        if accepted_id in accepted_ids:
+                            report.duplicate_accepts += 1
+                        else:
+                            accepted_ids.add(accepted_id)
                     report.latencies_seconds.append(latency)
                     report.cache_hits += int(cache_hit)
                     report.coalesced += int(coalesced)
@@ -413,6 +489,10 @@ def run_loadgen(
                     kill_pending = False
                     fire_kill = True
                     report.killed_after_requests = report.requests
+                if kill_fe_pending and report.requests > kill_front_end_after:
+                    kill_fe_pending = False
+                    fire_fe_kill = True
+                    report.killed_front_end_after = report.requests
             if fire_kill:
                 try:
                     # Outside the lock: the kill takes an HTTP round-trip.
@@ -423,6 +503,13 @@ def run_loadgen(
                     with lock:
                         report.errors += 1
                         report.first_errors.append(f"kill-worker failed: {exc}")
+            if fire_fe_kill:
+                try:
+                    _kill_front_end(url, timeout, report, lock)
+                except (ServiceError, ValueError, OSError) as exc:
+                    with lock:
+                        report.errors += 1
+                        report.first_errors.append(f"kill-front-end failed: {exc}")
 
     started = time.perf_counter()
     threads = [

@@ -129,6 +129,42 @@ FLEET_METRICS: dict[str, tuple[str, str]] = {
     "repro_fleet_compile_timeouts_total": (
         "counter", "Compiles cut off by the per-request watchdog, rolled up from workers."
     ),
+    "repro_fleet_role": (
+        "gauge", "1 while this front end is the serving primary, 0 otherwise."
+    ),
+    "repro_fleet_epoch": (
+        "gauge", "Leadership epoch of this front end's lease."
+    ),
+    "repro_fleet_failovers_total": (
+        "counter", "Standby promotions performed by this front end."
+    ),
+    "repro_fleet_replication_connected": (
+        "gauge", "1 while the journal replication link to the standby is up."
+    ),
+    "repro_fleet_replication_records_total": (
+        "counter", "Journal records replicated (sent and acked, or received)."
+    ),
+    "repro_fleet_replication_failures_total": (
+        "counter", "Journal records the standby failed to ack (degraded sends)."
+    ),
+    "repro_fleet_fenced_writes_total": (
+        "counter", "Stale-epoch replication frames rejected by the fence."
+    ),
+    "repro_fleet_fenced_dispatches_total": (
+        "counter", "Worker dispatches rejected because this front end's epoch is stale."
+    ),
+    "repro_fleet_hedged_requests_total": (
+        "counter", "Requests that fired a hedged second dispatch attempt."
+    ),
+    "repro_fleet_hedge_wins_total": (
+        "counter", "Hedged attempts that answered before the primary attempt."
+    ),
+    "repro_fleet_dispatch_breaker_open": (
+        "gauge", "Workers currently excluded from dispatch by an open circuit breaker."
+    ),
+    "repro_fleet_dispatch_breaker_opens_total": (
+        "counter", "Per-worker dispatch circuit-breaker open transitions."
+    ),
 }
 
 

@@ -212,6 +212,11 @@ class CompileService:
         self._batches: dict[str, _AsyncBatch] = {}
         self._lock = threading.Lock()
         self._requests_served = 0
+        # Epoch fence (HA fleets): the highest X-Repro-Epoch ever seen is
+        # the watermark; dispatches from a lower epoch come from a deposed
+        # front end and are rejected (HTTP 409) instead of executed.
+        self._max_epoch_seen = 0
+        self._fenced_requests = 0
         # Anytime/deadline serving state: an EWMA of recent compile
         # latencies times the in-flight depth estimates the queue wait that
         # admission control checks against each request's deadline.
@@ -387,6 +392,20 @@ class CompileService:
             batch = self._batches.get(job_id)
         return batch.payload() if batch is not None else None
 
+    def note_epoch(self, epoch: int) -> bool:
+        """Check a dispatch's leadership epoch against the fence watermark.
+
+        Returns True when the dispatch may proceed (and raises the
+        watermark); False when it comes from a deposed front end whose
+        epoch is below the highest ever seen.
+        """
+        with self._lock:
+            if epoch < self._max_epoch_seen:
+                self._fenced_requests += 1
+                return False
+            self._max_epoch_seen = epoch
+            return True
+
     def healthz(self) -> dict:
         """Liveness body: uptime, request, batching and cache counters.
 
@@ -439,6 +458,10 @@ class CompileService:
             "watchdog": {
                 "compile_timeout_s": self.compile_timeout_s,
                 "compile_timeouts": compile_timeouts,
+            },
+            "epoch": {
+                "max_seen": self._max_epoch_seen,
+                "fenced_requests": self._fenced_requests,
             },
         }
         registry = get_registry()
@@ -568,6 +591,20 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path not in ("/compile", "/batch"):
             self._send(404, {"error": f"unknown path {self.path!r}"})
             return
+        epoch_header = self.headers.get("X-Repro-Epoch")
+        if epoch_header is not None:
+            try:
+                epoch = int(epoch_header)
+            except ValueError:
+                self._send(400, {"error": f"bad X-Repro-Epoch {epoch_header!r}"})
+                return
+            if not self.server.service.note_epoch(epoch):
+                self._send(409, {
+                    "error": f"stale leadership epoch {epoch}; dispatch fenced",
+                    "stale_epoch": True,
+                    "epoch": epoch,
+                })
+                return
         try:
             if self.path == "/compile":
                 body = self.server.service.compile(payload)

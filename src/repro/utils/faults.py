@@ -16,6 +16,8 @@ Point                     Fires
 ``dispatch.forward``      before the front end forwards a request to a worker
 ``compile.step``          at the start of every batch-job execution
 ``heartbeat.probe``       before the supervisor probes a worker's ``/healthz``
+``replication.send``      before the primary sends a frame to the standby
+``lease.renew``           before the primary rewrites its leadership lease
 ========================  ====================================================
 
 Faults are configured by a declarative *schedule* — a JSON document loaded
@@ -91,6 +93,8 @@ FAULT_POINTS = (
     "dispatch.forward",
     "compile.step",
     "heartbeat.probe",
+    "replication.send",
+    "lease.renew",
 )
 
 FAULT_ACTIONS = ("raise", "crash", "sleep", "corrupt")

@@ -569,7 +569,7 @@ class TestPoisonQuarantineFast:
             monkeypatch.setattr(
                 worker.client,
                 "compile_payload",
-                lambda payload, _w=worker: (_ for _ in ()).throw(
+                lambda payload, headers=None, _w=worker: (_ for _ in ()).throw(
                     ServiceError(0, f"connection refused (worker {_w.index})")
                 ),
             )
@@ -594,7 +594,8 @@ class TestPoisonQuarantineFast:
             monkeypatch.setattr(
                 worker.client,
                 "compile_payload",
-                lambda payload: forwarded.append(payload) or {"ok": True},
+                lambda payload, headers=None: forwarded.append(payload)
+                or {"ok": True},
             )
         with pytest.raises(PoisonedJobError) as excinfo:
             supervisor.dispatch(
@@ -612,7 +613,7 @@ class TestPoisonQuarantineFast:
             monkeypatch.setattr(
                 worker.client,
                 "compile_payload",
-                lambda payload: (_ for _ in ()).throw(
+                lambda payload, headers=None: (_ for _ in ()).throw(
                     ServiceError(400, "bad job", body={"error": "bad job"})
                 ),
             )
@@ -634,7 +635,8 @@ class TestPoisonQuarantineFast:
             monkeypatch.setattr(
                 worker.client,
                 "compile_payload",
-                lambda payload: forwarded.append(payload) or {"ok": True},
+                lambda payload, headers=None: forwarded.append(payload)
+                or {"ok": True},
             )
         with pytest.raises(PoisonedJobError):
             supervisor.dispatch(
@@ -703,7 +705,7 @@ class TestLoadgenPoisonMode:
             def __init__(self, url, timeout=120.0, retries=0):
                 pass
 
-            def compile_payload(self, payload):
+            def compile_payload(self, payload, headers=None):
                 if payload.get("seed") == 666:
                     raise ServiceError(
                         422, "quarantined", body={"poisoned": True, "attempts": 3}
@@ -732,7 +734,7 @@ class TestLoadgenPoisonMode:
             def __init__(self, url, timeout=120.0, retries=0):
                 pass
 
-            def compile_payload(self, payload):
+            def compile_payload(self, payload, headers=None):
                 raise ServiceError(422, "nope", body={"error": "nope"})
 
         monkeypatch.setattr("repro.service.loadgen.ServiceClient", FakeClient)

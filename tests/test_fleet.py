@@ -600,3 +600,92 @@ class TestLoadgenFaultInjection:
         finally:
             server.shutdown()
             server.server_close()
+
+
+# --------------------------------------------------------------------------- #
+# Concurrent health probes (fast)
+# --------------------------------------------------------------------------- #
+
+
+class TestConcurrentProbes:
+    def test_workers_are_probed_concurrently(self):
+        """One hung worker must not serialise the /healthz roll-up.
+
+        Three probes meet at a barrier: if the supervision tick probed
+        workers sequentially, the first probe would block the tick and the
+        barrier could never fill.
+        """
+        from repro.service.fleet import FleetSupervisor
+
+        supervisor = FleetSupervisor(3, heartbeat_seconds=0.05)
+        barrier = threading.Barrier(3, timeout=5.0)
+        all_concurrent = threading.Event()
+
+        def meeting_probe(worker):
+            barrier.wait()
+            all_concurrent.set()
+
+        supervisor._check_worker = meeting_probe
+        thread = threading.Thread(target=supervisor._supervise, daemon=True)
+        thread.start()
+        try:
+            assert all_concurrent.wait(timeout=3.0)
+        finally:
+            supervisor._stop.set()
+            thread.join(timeout=2.0)
+            supervisor._probe_pool.shutdown(wait=False)
+
+    def test_inflight_probe_is_not_stacked(self):
+        """A slow probe must not get a duplicate queued behind it."""
+        from repro.service.fleet import FleetSupervisor
+
+        supervisor = FleetSupervisor(1, heartbeat_seconds=0.02)
+        release = threading.Event()
+        entered = []
+
+        def hanging_probe(worker):
+            entered.append(worker.index)
+            release.wait(timeout=5.0)
+
+        supervisor._check_worker = hanging_probe
+        thread = threading.Thread(target=supervisor._supervise, daemon=True)
+        thread.start()
+        try:
+            time.sleep(0.3)  # many ticks elapse while the probe hangs
+            assert len(entered) == 1
+        finally:
+            release.set()
+            supervisor._stop.set()
+            thread.join(timeout=2.0)
+            supervisor._probe_pool.shutdown(wait=False)
+
+
+# --------------------------------------------------------------------------- #
+# Loadgen front-end kill plumbing (fast; the live drill is CI ha-smoke)
+# --------------------------------------------------------------------------- #
+
+
+class TestLoadgenFrontEndKill:
+    def test_kill_front_end_after_validation(self):
+        with pytest.raises(ValueError, match="kill_front_end_after"):
+            run_loadgen(
+                "http://127.0.0.1:1",
+                [{"family": "ghz", "size": 4}],
+                requests=3,
+                kill_front_end_after=3,
+            )
+
+    def test_duplicate_accepts_fail_the_run(self):
+        from repro.service.loadgen import LoadReport
+
+        report = LoadReport(requests=2)
+        assert report.ok
+        report.duplicate_accepts = 1
+        assert not report.ok
+        assert "duplicate_accepts" not in report.summary()  # only after a kill
+        report.killed_front_end_pid = 1234
+        report.killed_front_end_after = 1
+        report.orphan_worker_pids = [111, 222]
+        assert report.summary()["duplicate_accepts"] == 1
+        assert report.summary()["orphan_worker_pids"] == [111, 222]
+        assert "duplicate accepts: 1" in report.to_text()

@@ -1,0 +1,387 @@
+"""Tests for the HA replication layer (protocol, lease, journal fencing).
+
+Covers the wire codec under hypothesis-generated torn/chunked/corrupted
+streams, the acceptor/link loopback pair (acks, duplicate-ack tolerance,
+stale-epoch fencing at both the acceptor and the replica journal), the
+``replication.send`` fault point (severed and corrupted links degrade the
+primary instead of wedging it), the epoch-numbered lease lifecycle, and
+the journal's epoch stamping, synchronous mirror hook, and the
+compaction parent-directory fsync regression.  Everything here is tier-1
+fast; the end-to-end failover drill lives in ``tests/test_ha.py`` (slow)
+and the CI ``ha-smoke`` step.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.jobs import PendingJournal, StaleEpochError
+from repro.service.replication import (
+    MAGIC,
+    MAX_FRAME_BYTES,
+    FrameCorruptError,
+    FrameDecoder,
+    Lease,
+    LeaseLostError,
+    ReplicationAcceptor,
+    ReplicationFencedError,
+    ReplicationLink,
+    _HEADER,
+    encode_frame,
+)
+from repro.utils.faults import FaultSchedule, install_schedule, reset_registry
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_SCHEDULE", raising=False)
+    reset_registry()
+    yield
+    reset_registry()
+
+
+# --------------------------------------------------------------------- #
+# Frame codec
+# --------------------------------------------------------------------- #
+
+_messages = st.dictionaries(
+    st.text(min_size=1, max_size=8),
+    st.one_of(st.integers(), st.text(max_size=16), st.booleans()),
+    max_size=5,
+)
+
+
+class TestFrameCodec:
+    @given(message=_messages)
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip(self, message):
+        decoded = FrameDecoder().feed(encode_frame(message))
+        assert decoded == [message]
+
+    @given(
+        messages=st.lists(_messages, min_size=1, max_size=4),
+        chunk=st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_arbitrary_chunking(self, messages, chunk):
+        """Any re-chunking of a frame stream decodes to the same messages."""
+        stream = b"".join(encode_frame(m) for m in messages)
+        decoder = FrameDecoder()
+        decoded = []
+        for start in range(0, len(stream), chunk):
+            decoded.extend(decoder.feed(stream[start : start + chunk]))
+        assert decoded == messages
+        assert decoder.pending_bytes == 0
+
+    @given(message=_messages, cut=st.integers(min_value=1, max_value=11))
+    @settings(max_examples=50, deadline=None)
+    def test_torn_frame_stays_pending(self, message, cut):
+        """A truncated frame yields nothing (and no error) until completed."""
+        frame = encode_frame(message)
+        cut = min(cut, len(frame) - 1)
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:cut]) == []
+        assert decoder.pending_bytes == cut
+        assert decoder.feed(frame[cut:]) == [message]
+
+    def test_checksum_corruption_detected(self):
+        frame = bytearray(encode_frame({"type": "append", "seq": 1}))
+        frame[-1] ^= 0xFF  # flip a payload byte; the header crc32 now lies
+        with pytest.raises(FrameCorruptError, match="checksum"):
+            FrameDecoder().feed(bytes(frame))
+
+    def test_bad_magic_detected(self):
+        frame = b"XXXX" + encode_frame({"a": 1})[4:]
+        with pytest.raises(FrameCorruptError, match="magic"):
+            FrameDecoder().feed(frame)
+
+    def test_oversized_length_detected(self):
+        header = _HEADER.pack(MAGIC, MAX_FRAME_BYTES + 1, 0)
+        with pytest.raises(FrameCorruptError, match="cap"):
+            FrameDecoder().feed(header)
+
+    def test_non_json_payload_detected(self):
+        payload = b"\xff\xfe not json"
+        frame = _HEADER.pack(MAGIC, len(payload), zlib.crc32(payload)) + payload
+        with pytest.raises(FrameCorruptError):
+            FrameDecoder().feed(frame)
+
+
+# --------------------------------------------------------------------- #
+# Acceptor / link loopback
+# --------------------------------------------------------------------- #
+
+
+def _start_acceptor(apply, epoch=0):
+    acceptor = ReplicationAcceptor("127.0.0.1", 0, apply=apply, epoch=epoch)
+    acceptor.start()
+    return acceptor
+
+
+class TestAcceptorLink:
+    def test_append_is_applied_and_acked(self):
+        applied = []
+        acceptor = _start_acceptor(applied.append)
+        link = ReplicationLink(acceptor.address, epoch=1, timeout=2.0)
+        try:
+            assert link.send_record({"op": "pending", "request_id": "r1"})
+            assert link.heartbeat()
+            assert applied == [{"op": "pending", "request_id": "r1"}]
+            assert link.records_total == 1
+            assert link.failures_total == 0
+            assert acceptor.records_total == 1
+            assert acceptor.heartbeats_total == 1
+            assert acceptor.last_contact_age() < 5.0
+        finally:
+            link.close()
+            acceptor.stop()
+
+    def test_stale_epoch_is_fenced_at_acceptor(self):
+        acceptor = _start_acceptor(lambda record: None, epoch=5)
+        link = ReplicationLink(acceptor.address, epoch=1, timeout=2.0)
+        try:
+            with pytest.raises(ReplicationFencedError) as excinfo:
+                link.send_record({"op": "pending", "request_id": "r1"})
+            assert excinfo.value.fence_epoch == 5
+            assert acceptor.fenced_total >= 1
+        finally:
+            link.close()
+            acceptor.stop()
+
+    def test_stale_epoch_is_fenced_at_replica_journal(self, tmp_path):
+        """The journal-level fence rejects even if the acceptor's is lower."""
+        journal = PendingJournal(tmp_path / "replica.jsonl")
+        journal.fence(3)
+        acceptor = _start_acceptor(journal.append_replica)
+        link = ReplicationLink(acceptor.address, epoch=2, timeout=2.0)
+        try:
+            with pytest.raises(ReplicationFencedError):
+                link.send_record({"op": "pending", "request_id": "r1", "epoch": 2})
+            assert acceptor.fenced_total >= 1
+            assert PendingJournal.load_unfinished(journal.path) == []
+        finally:
+            link.close()
+            acceptor.stop()
+            journal.close()
+
+    def test_duplicated_and_reordered_acks_tolerated(self):
+        """Stale acks (lower seq, duplicated) must not complete an exchange."""
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+
+        def standby():
+            conn, _ = server.accept()
+            decoder = FrameDecoder()
+            seen = 0
+            with conn:
+                while seen < 2:  # hello + append
+                    messages = decoder.feed(conn.recv(65536))
+                    for message in messages:
+                        seen += 1
+                        seq = message["seq"]
+                        # A burst of garbage acks first: duplicated and
+                        # reordered (stale seq), then the real one.
+                        conn.sendall(encode_frame({"type": "ack", "seq": seq - 1}))
+                        conn.sendall(encode_frame({"type": "ack", "seq": seq - 1}))
+                        conn.sendall(encode_frame({"type": "ack", "seq": seq}))
+
+        thread = threading.Thread(target=standby, daemon=True)
+        thread.start()
+        link = ReplicationLink(server.getsockname()[:2], epoch=1, timeout=2.0)
+        try:
+            assert link.send_record({"op": "pending", "request_id": "r1"})
+        finally:
+            link.close()
+            server.close()
+        thread.join(timeout=2.0)
+
+    def test_severed_link_degrades_to_false(self):
+        """An injected send failure severs the link; the primary keeps going."""
+        applied = []
+        acceptor = _start_acceptor(applied.append)
+        install_schedule(
+            FaultSchedule.from_dict(
+                {
+                    "rules": [
+                        {
+                            "point": "replication.send",
+                            "action": "raise",
+                            "match": "append",
+                        }
+                    ]
+                }
+            )
+        )
+        link = ReplicationLink(acceptor.address, epoch=1, timeout=1.0)
+        try:
+            assert link.send_record({"op": "pending", "request_id": "r1"}) is False
+            assert link.failures_total == 1
+            assert applied == []
+            # Heartbeats don't match the rule and reconnect fine after the
+            # backoff window.
+            time.sleep(0.6)
+            assert link.heartbeat()
+        finally:
+            link.close()
+            acceptor.stop()
+
+    def test_corrupted_frames_dropped_by_standby(self):
+        """On-wire corruption is detected by checksum, never applied."""
+        applied = []
+        acceptor = _start_acceptor(applied.append)
+        install_schedule(
+            FaultSchedule.from_dict(
+                {
+                    "seed": 7,
+                    "rules": [
+                        {
+                            "point": "replication.send",
+                            "action": "corrupt",
+                            "match": "append",
+                        }
+                    ],
+                }
+            )
+        )
+        link = ReplicationLink(acceptor.address, epoch=1, timeout=0.4)
+        try:
+            assert link.send_record({"op": "pending", "request_id": "r1"}) is False
+            assert applied == []
+            deadline = time.monotonic() + 2.0
+            while acceptor.corrupt_frames == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert acceptor.corrupt_frames >= 1
+        finally:
+            link.close()
+            acceptor.stop()
+
+    def test_standby_down_returns_false_fast(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_address = probe.getsockname()[:2]
+        probe.close()
+        link = ReplicationLink(dead_address, epoch=1, timeout=0.5)
+        try:
+            assert link.send_record({"op": "x"}) is False
+            assert not link.connected
+        finally:
+            link.close()
+
+
+# --------------------------------------------------------------------- #
+# Lease
+# --------------------------------------------------------------------- #
+
+
+class TestLease:
+    def test_acquire_renew_bump_lifecycle(self, tmp_path):
+        path = tmp_path / "lease.json"
+        primary = Lease(path, ttl_seconds=60.0, holder="primary")
+        assert primary.acquire() == 1
+        primary.renew()  # no-op while we still hold the highest epoch
+
+        standby = Lease(path, ttl_seconds=60.0, holder="standby")
+        assert standby.bump() == 2
+        with pytest.raises(LeaseLostError):
+            primary.renew()
+        assert Lease.read(path)["holder"] == "standby"
+
+    def test_expiry(self, tmp_path):
+        path = tmp_path / "lease.json"
+        lease = Lease(path, ttl_seconds=0.05)
+        assert lease.expired()  # missing file
+        lease.acquire()
+        assert not lease.expired()
+        time.sleep(0.1)
+        assert lease.expired()
+        path.write_text("not json", encoding="utf-8")
+        assert lease.expired()
+
+    def test_renew_fault_point(self, tmp_path):
+        install_schedule(
+            FaultSchedule.from_dict(
+                {"rules": [{"point": "lease.renew", "action": "raise"}]}
+            )
+        )
+        lease = Lease(tmp_path / "lease.json")
+        lease.acquire()  # acquire does not renew; only renew hits the point
+        with pytest.raises(Exception, match="injected"):
+            lease.renew()
+
+
+# --------------------------------------------------------------------- #
+# Journal: epoch stamping, mirror hook, fencing, compaction durability
+# --------------------------------------------------------------------- #
+
+
+class TestJournalReplication:
+    def test_epoch_stamped_and_mirrored_synchronously(self, tmp_path):
+        mirrored = []
+        journal = PendingJournal(tmp_path / "journal.jsonl")
+        journal.set_epoch(3)
+        journal.set_mirror(mirrored.append)
+        journal.record_pending("r1", {"family": "lattice"}, "hash1")
+        journal.close()
+
+        assert len(mirrored) == 1
+        assert mirrored[0]["epoch"] == 3
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / "journal.jsonl").read_text().splitlines()
+        ]
+        assert lines[0]["epoch"] == 3
+
+    def test_mirror_exception_propagates_to_writer(self, tmp_path):
+        """A fenced primary must fail the request, not hide the rejection."""
+        journal = PendingJournal(tmp_path / "journal.jsonl")
+        journal.set_epoch(1)
+
+        def fenced_mirror(record):
+            raise StaleEpochError(record.get("epoch", 0), 2)
+
+        journal.set_mirror(fenced_mirror)
+        with pytest.raises(StaleEpochError):
+            journal.record_pending("r1", {}, "hash1")
+        journal.close()
+
+    def test_append_replica_fence(self, tmp_path):
+        journal = PendingJournal(tmp_path / "replica.jsonl")
+        journal.append_replica(
+            {"op": "pending", "request_id": "old", "content_hash": "h", "epoch": 1}
+        )
+        journal.fence(2)
+        with pytest.raises(StaleEpochError) as excinfo:
+            journal.append_replica(
+                {"op": "pending", "request_id": "r2", "content_hash": "h", "epoch": 1}
+            )
+        assert excinfo.value.min_epoch == 2
+        journal.append_replica(
+            {"op": "pending", "request_id": "r3", "content_hash": "h", "epoch": 2}
+        )
+        journal.close()
+        ids = {e.request_id for e in PendingJournal.load_unfinished(journal.path)}
+        assert ids == {"old", "r3"}
+
+    def test_compact_fsyncs_parent_directory(self, tmp_path, monkeypatch):
+        """Regression: the rename must be made durable by a parent fsync."""
+        synced: list[str] = []
+
+        def spy(path):
+            synced.append(str(path))
+
+        monkeypatch.setattr("repro.pipeline.jobs.fsync_dir", spy)
+        journal = PendingJournal(tmp_path / "journal.jsonl")
+        journal.record_pending("r1", {}, "hash1")
+        journal.record_done("r1")
+        assert journal.compact() == 0
+        journal.close()
+        assert str(tmp_path) in synced
